@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark): throughput of the inner kernels —
+// LCA/path iteration, load computation, the matching+tracing even split,
+// whole-schedule construction, Hopcroft–Karp concentrator routing, and
+// the cutting-plane decomposition.
+#include <benchmark/benchmark.h>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "layout/balanced.hpp"
+#include "layout/decomposition.hpp"
+#include "nets/layouts.hpp"
+#include "switch/concentrator.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+void BM_LcaAndPath(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  ft::FatTreeTopology topo(n);
+  ft::Rng rng(1);
+  const auto m = ft::random_permutation_traffic(n, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& msg = m[i++ % m.size()];
+    std::uint32_t sum = 0;
+    topo.for_each_channel_on_path(msg.src, msg.dst,
+                                  [&](ft::ChannelId c) { sum += c.node; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LcaAndPath)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_ComputeLoads(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  ft::FatTreeTopology topo(n);
+  ft::Rng rng(2);
+  const auto m = ft::stacked_permutations(n, 4, rng);
+  for (auto _ : state) {
+    auto loads = ft::compute_loads(topo, m);
+    benchmark::DoNotOptimize(loads.up.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.size()));
+}
+BENCHMARK(BM_ComputeLoads)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EvenSplit(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  ft::FatTreeTopology topo(n);
+  ft::Rng rng(3);
+  ft::MessageSet crossing;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    crossing.push_back(
+        {static_cast<ft::Leaf>(rng.below(n / 2)),
+         static_cast<ft::Leaf>(n / 2 + rng.below(n / 2))});
+  }
+  for (auto _ : state) {
+    auto split = ft::split_crossing_messages(topo, 1, crossing);
+    benchmark::DoNotOptimize(split.first.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(crossing.size()));
+}
+BENCHMARK(BM_EvenSplit)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ScheduleOffline(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+  ft::Rng rng(4);
+  const auto m = ft::stacked_permutations(n, 4, rng);
+  for (auto _ : state) {
+    auto s = ft::schedule_offline(topo, caps, m);
+    benchmark::DoNotOptimize(s.cycles.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.size()));
+}
+BENCHMARK(BM_ScheduleOffline)->Arg(256)->Arg(1024);
+
+void BM_ConcentratorRoute(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  ft::Rng rng(5);
+  ft::PartialConcentrator conc(96, 64, rng);
+  std::vector<std::uint32_t> active;
+  ft::Rng pick(6);
+  std::vector<std::uint32_t> pool(96);
+  for (std::uint32_t i = 0; i < 96; ++i) pool[i] = i;
+  pick.shuffle(pool);
+  active.assign(pool.begin(), pool.begin() + static_cast<long>(k));
+  for (auto _ : state) {
+    auto out = conc.route(active);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_ConcentratorRoute)->Arg(8)->Arg(32)->Arg(48);
+
+void BM_Decomposition(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto layout = ft::layout_hypercube(n);
+  for (auto _ : state) {
+    auto tree = ft::cut_plane_decomposition(layout);
+    benchmark::DoNotOptimize(tree.depth());
+  }
+}
+BENCHMARK(BM_Decomposition)->Arg(64)->Arg(256);
+
+void BM_BalancedDecomposition(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto layout = ft::layout_hypercube(n);
+  const auto tree = ft::cut_plane_decomposition(layout);
+  for (auto _ : state) {
+    ft::BalancedDecomposition balanced(tree);
+    benchmark::DoNotOptimize(balanced.processor_order().data());
+  }
+}
+BENCHMARK(BM_BalancedDecomposition)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

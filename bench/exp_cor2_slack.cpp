@@ -1,0 +1,70 @@
+// E6 — Corollary 2: when every channel has capacity >= a·lg n, the lg n
+// factor of Theorem 1 disappears and d <= (a/(a-1))·2·λ(M).
+//
+// Sweeps the slack parameter a on constant-capacity fat-trees and compares
+// the reuse scheduler's cycle count against both λ and Theorem 1.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/load.hpp"
+#include "core/reuse_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "sim/experiment.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E6", "Corollary 2: capacity slack removes the lg n factor",
+      "cap(c) >= a lg n for all c  =>  d <= (a/(a-1)) 2 lambda(M), "
+      "independent of n");
+
+  for (const std::uint32_t n : {256u, 1024u}) {
+    ft::FatTreeTopology topo(n);
+    const std::uint32_t lgn = topo.height();
+    ft::Rng rng(n);
+    const auto m = ft::stacked_permutations(n, 12, rng);
+
+    ft::Table table({"a", "cap = a lg n", "lambda", "reuse d", "thm1 d",
+                     "reuse d/lambda", "(a/(a-1))*2", "repairs"});
+    for (double a : {2.5, 3.0, 4.0, 6.0, 8.0}) {
+      const auto cap = static_cast<std::uint64_t>(a * lgn);
+      const auto caps = ft::CapacityProfile::constant(topo, cap);
+      const double lambda = ft::load_factor(topo, caps, m);
+      const auto reuse = ft::schedule_reuse(topo, caps, m);
+      const auto thm1 = ft::schedule_offline(topo, caps, m);
+      table.row()
+          .add(a, 1)
+          .add(cap)
+          .add(lambda, 2)
+          .add(reuse.schedule.num_cycles())
+          .add(thm1.num_cycles())
+          .add(static_cast<double>(reuse.schedule.num_cycles()) / lambda, 2)
+          .add(a / (a - 1.0) * 2.0, 2)
+          .add(reuse.repaired_messages);
+    }
+    table.print(std::cout,
+                "n = " + std::to_string(n) + ", 12 stacked permutations");
+    std::cout << '\n';
+  }
+
+  // n sweep at fixed a: d/λ must stay flat (no lg n growth).
+  {
+    ft::Table table({"n", "lg n", "lambda", "reuse d", "reuse d/lambda"});
+    for (std::uint32_t lg = 6; lg <= 12; ++lg) {
+      const std::uint32_t n = 1u << lg;
+      ft::FatTreeTopology topo(n);
+      const auto caps = ft::CapacityProfile::constant(topo, 4 * lg);
+      ft::Rng rng(lg);
+      const auto m = ft::stacked_permutations(n, 12, rng);
+      const double lambda = ft::load_factor(topo, caps, m);
+      const auto reuse = ft::schedule_reuse(topo, caps, m);
+      table.row().add(n).add(lg).add(lambda, 2).add(
+          reuse.schedule.num_cycles())
+          .add(static_cast<double>(reuse.schedule.num_cycles()) / lambda, 2);
+    }
+    table.print(std::cout, "a = 4 fixed, n sweeping: d/lambda stays flat");
+  }
+  return 0;
+}

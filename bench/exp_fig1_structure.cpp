@@ -1,0 +1,77 @@
+// E1 — Fig. 1 and the Section IV capacity definition.
+//
+// Regenerates the structural table of universal fat-trees: per-level
+// channel capacities, showing the doubling regime near the leaves, the
+// 4^{1/3}-growth regime near the root, and the regime breakpoint at level
+// 3·lg(n/w).
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/capacity.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E1", "Fig. 1 + universal fat-tree definition (Section IV)",
+      "cap(level k) = min(2^{L-k}, w/2^{2k/3}); doubling near leaves, "
+      "4^{1/3} growth near root, breakpoint at 3 lg(n/w)");
+
+  {
+    const std::uint32_t n = 4096;
+    ft::FatTreeTopology topo(n);
+    ft::Table table({"level k", "channels", "cap (w=256)", "growth",
+                     "cap (w=1024)", "growth", "cap (w=4096)", "growth"});
+    const auto c256 = ft::CapacityProfile::universal(topo, 256);
+    const auto c1k = ft::CapacityProfile::universal(topo, 1024);
+    const auto c4k = ft::CapacityProfile::universal(topo, 4096);
+    for (std::uint32_t k = 0; k <= topo.height(); ++k) {
+      auto growth = [&](const ft::CapacityProfile& c) -> std::string {
+        if (k == topo.height()) return "-";
+        return ft::format_double(
+            static_cast<double>(c.capacity_at_level(k)) /
+                static_cast<double>(c.capacity_at_level(k + 1)),
+            2);
+      };
+      table.row()
+          .add(k)
+          .add(std::uint64_t{1} << k)
+          .add(c256.capacity_at_level(k))
+          .add(growth(c256))
+          .add(c1k.capacity_at_level(k))
+          .add(growth(c1k))
+          .add(c4k.capacity_at_level(k))
+          .add(growth(c4k));
+    }
+    table.print(std::cout, "capacity profiles, n = 4096");
+    std::cout << "breakpoints 3 lg(n/w): w=256 -> level 12 (all doubling), "
+                 "w=1024 -> level 6, w=4096 -> level 0 (all 4^{1/3})\n";
+  }
+
+  {
+    ft::Table table(
+        {"n", "w", "total wires", "wires/skinny-tree", "root share"});
+    for (std::uint32_t lg = 8; lg <= 14; lg += 2) {
+      const std::uint32_t n = 1u << lg;
+      ft::FatTreeTopology topo(n);
+      for (std::uint64_t w : {std::uint64_t(std::pow(n, 2.0 / 3.0)),
+                              std::uint64_t(n) / 4, std::uint64_t(n)}) {
+        const auto caps = ft::CapacityProfile::universal(topo, w);
+        const auto wires = caps.total_wires(topo);
+        table.row()
+            .add(n)
+            .add(w)
+            .add(wires)
+            .add(static_cast<double>(wires) /
+                     static_cast<double>(2 * (2 * n - 1)),
+                 2)
+            .add(static_cast<double>(2 * caps.root_capacity()) /
+                     static_cast<double>(wires),
+                 4);
+      }
+    }
+    table.print(std::cout, "hardware (wire count) vs root capacity");
+  }
+  return 0;
+}

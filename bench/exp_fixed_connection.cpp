@@ -1,0 +1,82 @@
+// E12 — the Section VI applications: fixed-connection network emulation
+// (one compiled step = O(1) delivery cycles) and off-line permutation
+// routing against the Beneš rearrangeable-network baseline.
+#include <algorithm>
+#include <iostream>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "nets/benes.hpp"
+#include "nets/builders.hpp"
+#include "sim/experiment.hpp"
+#include "sim/universality.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E12", "Section VI applications",
+      "fixed-connection emulation in O(lg n) per step; off-line "
+      "permutation routing in O(lg n), matching Benes networks");
+
+  // Fixed-connection emulation across networks and sizes.
+  {
+    ft::Table table({"network", "n", "degree d", "lambda/step",
+                     "cycles/step"});
+    for (std::uint32_t lg : {6u, 8u, 10u}) {
+      const std::uint32_t n = 1u << lg;
+      const std::uint32_t grid = 1u << (lg / 2);
+      const ft::Network nets[] = {
+          ft::build_hypercube(lg),
+          ft::build_mesh2d(grid, n / grid),
+          ft::build_shuffle_exchange(lg),
+      };
+      for (const auto& net : nets) {
+        const auto r = ft::emulate_fixed_connection(net, n / 2);
+        table.row()
+            .add(net.name())
+            .add(n)
+            .add(static_cast<std::uint64_t>(r.degree))
+            .add(r.load_factor, 2)
+            .add(r.cycles_per_step);
+      }
+    }
+    table.print(std::cout, "one emulated communication step (compiled "
+                           "switch settings)");
+    std::cout << "Cycles/step is O(1) across n: each step costs O(lg n) "
+                 "time, the paper's claim.\n\n";
+  }
+
+  // Permutation routing: full fat-tree off-line vs Beneš depth.
+  {
+    ft::Table table({"n", "fat-tree cycles (rand perm, packed)",
+                     "Benes depth 2 lg n - 1", "Benes settings valid"});
+    for (std::uint32_t lg = 4; lg <= 10; lg += 2) {
+      const std::uint32_t n = 1u << lg;
+      ft::FatTreeTopology topo(n);
+      const auto caps = ft::CapacityProfile::doubling(topo);  // w = n
+      ft::Rng rng(lg);
+      const auto perm = rng.permutation(n);
+      ft::MessageSet m;
+      for (std::uint32_t p = 0; p < n; ++p) m.push_back({p, perm[p]});
+      const auto s = ft::schedule_offline_packed(topo, caps, m);
+
+      const auto settings = ft::benes_route_permutation(perm);
+      const bool valid = ft::benes_apply(settings) == perm;
+      table.row()
+          .add(n)
+          .add(s.num_cycles())
+          .add(static_cast<std::uint64_t>(settings.num_stages()))
+          .add(valid ? "yes" : "NO");
+    }
+    table.print(std::cout,
+                "high-volume fat-tree vs Benes on random permutations");
+    std::cout
+        << "A full (w = n) fat-tree routes any permutation off-line in O(1) "
+           "delivery cycles\n= O(lg n) time — the same order as the Benes "
+           "network's 2 lg n - 1 switching\nstages, at the same Theta("
+           "n^{3/2}) volume (Section VI).\n";
+  }
+  return 0;
+}

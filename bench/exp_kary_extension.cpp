@@ -1,0 +1,91 @@
+// E13 — forward-looking extension: k-ary n-trees (the constant-radix
+// folded-Clos realization of fat-trees used by modern interconnects),
+// with an ablation of up-path selection policies.
+#include <algorithm>
+#include <iostream>
+
+#include "kary/kary_sim.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E13", "k-ary n-tree extension (Section VII outlook)",
+      "constant-radix fat-trees route permutations with low congestion "
+      "when ascent paths are spread (random/least-loaded) rather than "
+      "deterministic");
+
+  {
+    ft::Table table({"k", "levels", "procs", "policy", "max link load",
+                     "rounds", "rounds/hops"});
+    struct Shape {
+      std::uint32_t k, levels;
+    };
+    for (const auto shape : {Shape{2, 6}, Shape{4, 3}, Shape{8, 2}}) {
+      ft::KaryTree tree(shape.k, shape.levels);
+      ft::Rng perm_rng(shape.k * 10 + shape.levels);
+      const auto perm = perm_rng.permutation(tree.num_processors());
+      for (auto policy : {ft::AscentPolicy::DModK, ft::AscentPolicy::Random,
+                          ft::AscentPolicy::LeastLoaded}) {
+        const char* name = policy == ft::AscentPolicy::DModK ? "d-mod-k"
+                           : policy == ft::AscentPolicy::Random
+                               ? "random"
+                               : "least-loaded";
+        ft::Rng rng(99);
+        const auto r = ft::simulate_kary_permutation(tree, perm, policy, rng);
+        table.row()
+            .add(shape.k)
+            .add(shape.levels)
+            .add(tree.num_processors())
+            .add(name)
+            .add(r.max_link_load)
+            .add(static_cast<std::uint64_t>(r.rounds))
+            .add(static_cast<double>(r.rounds) / r.max_route_hops, 2);
+      }
+    }
+    table.print(std::cout, "random permutation across tree shapes "
+                           "(64 processors each)");
+    std::cout << '\n';
+  }
+
+  // Adversarial shift traffic: deterministic ascent funnels, spreading
+  // policies flatten.
+  {
+    ft::KaryTree tree(4, 3);
+    const std::uint32_t n = tree.num_processors();
+    std::vector<std::uint32_t> shift(n);
+    for (std::uint32_t p = 0; p < n; ++p) shift[p] = (p + n / 4) % n;
+    ft::Table table({"policy", "max link load", "rounds"});
+    for (auto policy : {ft::AscentPolicy::DModK, ft::AscentPolicy::Random,
+                        ft::AscentPolicy::LeastLoaded}) {
+      const char* name = policy == ft::AscentPolicy::DModK ? "d-mod-k"
+                         : policy == ft::AscentPolicy::Random
+                             ? "random"
+                             : "least-loaded";
+      ft::Rng rng(7);
+      const auto r = ft::simulate_kary_permutation(tree, shift, policy, rng);
+      table.row().add(name).add(r.max_link_load).add(
+          static_cast<std::uint64_t>(r.rounds));
+    }
+    table.print(std::cout, "adversarial shift permutation, 4-ary 3-tree");
+  }
+
+  // Path diversity as a function of distance.
+  {
+    ft::KaryTree tree(4, 4);  // 256 processors
+    ft::Table table({"nca level", "ascent hops", "distinct paths"});
+    for (std::uint32_t nca = 0; nca < tree.levels(); ++nca) {
+      // A destination whose digit string shares exactly `nca` digits.
+      std::uint32_t dst = 0;
+      for (std::uint32_t i = nca; i < tree.levels(); ++i) {
+        dst += 1u << (2 * (tree.levels() - 1 - i));  // digit 1 at i
+      }
+      table.row()
+          .add(nca)
+          .add(tree.levels() - 1 > nca ? tree.levels() - 1 - nca : 0)
+          .add(tree.path_diversity(0, dst));
+    }
+    table.print(std::cout, "path diversity on a 4-ary 4-tree");
+  }
+  return 0;
+}

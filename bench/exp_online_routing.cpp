@@ -1,0 +1,107 @@
+// E11 — the on-line extension (Sections II/VI, Greenberg–Leiserson [8]):
+// randomized lossy routing with acknowledgments and retry delivers every
+// message set in O(λ(M) + lg n · lg lg n) delivery cycles w.h.p.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/load.hpp"
+#include "core/online_router.hpp"
+#include "core/traffic.hpp"
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E11", "on-line randomized routing (extension [8])",
+      "lossy delivery cycles with random concentrator arbitration finish "
+      "in O(lambda + lg n lglg n) cycles w.h.p.");
+
+  // λ sweep at fixed n.
+  {
+    const std::uint32_t n = 1024;
+    ft::FatTreeTopology topo(n);
+    const auto caps = ft::CapacityProfile::universal(topo, 128);
+    ft::Table table({"stacked perms", "lambda", "mean cycles", "p95 cycles",
+                     "cycles/(lambda + lg n lglg n)", "loss rate"});
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      ft::Rng gen(k);
+      const auto m = ft::stacked_permutations(n, k, gen);
+      const double lambda = ft::load_factor(topo, caps, m);
+      const double lgn = std::log2(double(n));
+      const double envelope = lambda + lgn * std::log2(lgn);
+      std::vector<double> cycles;
+      double losses = 0, attempts = 0;
+      for (int rep = 0; rep < 7; ++rep) {
+        ft::Rng rng(1000 + 17 * rep + k);
+        const auto r = ft::route_online(topo, caps, m, rng);
+        cycles.push_back(r.delivery_cycles);
+        losses += static_cast<double>(r.total_losses);
+        attempts += static_cast<double>(r.total_attempts);
+      }
+      ft::Accumulator acc;
+      for (double c : cycles) acc.add(c);
+      table.row()
+          .add(k)
+          .add(lambda, 2)
+          .add(acc.mean(), 1)
+          .add(ft::percentile(cycles, 95), 1)
+          .add(acc.mean() / envelope, 3)
+          .add(losses / attempts, 3);
+    }
+    table.print(std::cout, "n = 1024, w = 128: cycles track the envelope");
+    std::cout << '\n';
+  }
+
+  // n sweep at fixed λ: the additive lg n lglg n term.
+  {
+    ft::Table table({"n", "lambda", "mean cycles",
+                     "cycles/(lambda + lg n lglg n)"});
+    for (std::uint32_t lg = 6; lg <= 12; lg += 2) {
+      const std::uint32_t n = 1u << lg;
+      ft::FatTreeTopology topo(n);
+      const auto caps = ft::CapacityProfile::universal(topo, n / 8);
+      ft::Rng gen(lg);
+      const auto m = ft::stacked_permutations(n, 4, gen);
+      const double lambda = ft::load_factor(topo, caps, m);
+      const double envelope =
+          lambda + lg * std::log2(static_cast<double>(lg));
+      ft::Accumulator acc;
+      for (int rep = 0; rep < 5; ++rep) {
+        ft::Rng rng(2000 + 13 * rep + lg);
+        acc.add(ft::route_online(topo, caps, m, rng).delivery_cycles);
+      }
+      table.row().add(n).add(lambda, 2).add(acc.mean(), 1).add(
+          acc.mean() / envelope, 3);
+    }
+    table.print(std::cout, "n sweep at 4 stacked permutations");
+    std::cout << '\n';
+  }
+
+  // Ideal vs partial-concentrator arbitration (alpha ablation).
+  {
+    const std::uint32_t n = 512;
+    ft::FatTreeTopology topo(n);
+    const auto caps = ft::CapacityProfile::universal(topo, 64);
+    ft::Rng gen(5);
+    const auto m = ft::stacked_permutations(n, 8, gen);
+    ft::Table table({"alpha", "mean cycles", "loss rate"});
+    for (double alpha : {1.0, 0.9, 0.75, 0.5}) {
+      ft::OnlineRouterOptions opts;
+      opts.alpha = alpha;
+      double cyc = 0, losses = 0, attempts = 0;
+      for (int rep = 0; rep < 5; ++rep) {
+        ft::Rng rng(3000 + rep);
+        const auto r = ft::route_online(topo, caps, m, rng, opts);
+        cyc += r.delivery_cycles;
+        losses += static_cast<double>(r.total_losses);
+        attempts += static_cast<double>(r.total_attempts);
+      }
+      table.row().add(alpha, 2).add(cyc / 5.0, 1).add(losses / attempts, 3);
+    }
+    table.print(std::cout,
+                "ablation: partial-concentrator effectiveness alpha");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E5 — Theorem 1: off-line scheduling in O(λ(M) · lg n) delivery cycles.
+//
+// For each workload and machine size, reports λ(M), the schedule length d,
+// the paper's normalized ratio d / (2·λ·lg n) (the theorem says it is
+// O(1)), and the greedy first-fit baseline for comparison.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "sim/experiment.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  ft::print_experiment_header(
+      "E5", "Theorem 1 off-line scheduling",
+      "any message set schedules in d = O(lambda(M) lg n) delivery cycles "
+      "(lower bound d >= lambda)");
+
+  for (const std::uint32_t n : {256u, 1024u}) {
+    ft::FatTreeTopology topo(n);
+    const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+    ft::Rng rng(n);
+    ft::Table table({"workload", "messages", "lambda", "cycles d",
+                     "d/ceil(lambda)", "d/(2 lambda lg n)", "greedy d",
+                     "packed d"});
+    for (const auto& wl : ft::standard_workloads(n, rng)) {
+      const double lambda = ft::load_factor(topo, caps, wl.messages);
+      const auto s = ft::schedule_offline(topo, caps, wl.messages);
+      const auto g = ft::schedule_greedy(topo, caps, wl.messages);
+      const auto p = ft::schedule_offline_packed(topo, caps, wl.messages);
+      const double denom =
+          2.0 * std::max(1.0, lambda) * static_cast<double>(topo.height());
+      table.row()
+          .add(wl.name)
+          .add(wl.messages.size())
+          .add(lambda, 2)
+          .add(s.num_cycles())
+          .add(static_cast<double>(s.num_cycles()) /
+                   std::max(1.0, std::ceil(lambda)),
+               2)
+          .add(static_cast<double>(s.num_cycles()) / denom, 3)
+          .add(g.num_cycles())
+          .add(p.num_cycles());
+    }
+    table.print(std::cout, "n = " + std::to_string(n) +
+                               ", universal fat-tree w = n/4");
+    std::cout << '\n';
+  }
+
+  // λ sweep: cycles track λ linearly at fixed n (the lg n factor is
+  // constant within a column).
+  {
+    const std::uint32_t n = 512;
+    ft::FatTreeTopology topo(n);
+    const auto caps = ft::CapacityProfile::universal(topo, 64);
+    ft::Rng rng(7);
+    ft::Table table({"stacked perms k", "lambda", "cycles d", "d/lambda"});
+    for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const auto m = ft::stacked_permutations(n, k, rng);
+      const double lambda = ft::load_factor(topo, caps, m);
+      const auto s = ft::schedule_offline(topo, caps, m);
+      table.row().add(k).add(lambda, 2).add(s.num_cycles()).add(
+          static_cast<double>(s.num_cycles()) / lambda, 2);
+    }
+    table.print(std::cout, "lambda sweep at n = 512: d/lambda is flat");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The paper's motivating application (Section I): planar finite-element
+// meshes have O(sqrt n) bisection width, so a fat-tree sized for the
+// application routes them with a fraction of the hardware a
+// hypercube-based network needs.
+//
+// This example runs a 2-D FEM halo exchange on fat-trees of decreasing
+// root capacity and prints delivery cycles versus hardware volume,
+// against the hypercube's Θ(n^{3/2}) volume reference.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "layout/vlsi_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::uint32_t side = 16;
+  const std::uint32_t n = side * side;  // 256 processors
+  ft::FatTreeTopology topo(n);
+  const auto messages = ft::fem_halo_traffic(side, side);
+
+  std::printf("planar FEM halo exchange on a %ux%u grid (%u processors, "
+              "%zu messages)\n\n",
+              side, side, n, messages.size());
+
+  ft::Table table({"root capacity w", "volume", "vol/hypercube", "lambda",
+                   "delivery cycles"});
+  const double cube_volume = ft::hypercube_volume(n);
+  for (std::uint64_t w = n; w >= 4; w /= 4) {
+    const auto caps = ft::CapacityProfile::universal(topo, w);
+    const double volume = ft::universal_fat_tree_volume(n, w);
+    const double lambda = ft::load_factor(topo, caps, messages);
+    const auto schedule = ft::schedule_offline(topo, caps, messages);
+    table.row()
+        .add(w)
+        .add(volume, 0)
+        .add(volume / cube_volume, 3)
+        .add(lambda, 2)
+        .add(schedule.num_cycles());
+  }
+  table.print(std::cout,
+              "fat-tree sized to the application vs hypercube hardware");
+
+  std::printf(
+      "\nReading: at w ~ sqrt(n) = %u the fat-tree still routes the halo\n"
+      "exchange in a handful of cycles while using a small fraction of the\n"
+      "hypercube's volume — communication scales independently of the\n"
+      "processor count (the paper's hardware-efficiency claim).\n",
+      side);
+  return 0;
+}

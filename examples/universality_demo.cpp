@@ -1,0 +1,45 @@
+// Theorem 10 end to end: take a hypercube computer, lay it out in
+// 3-space, build its balanced decomposition tree, identify its processors
+// with the leaves of an equal-volume universal fat-tree, and compare
+// delivery times across workloads.
+#include <cstdio>
+#include <iostream>
+
+#include "core/traffic.hpp"
+#include "nets/builders.hpp"
+#include "nets/layouts.hpp"
+#include "sim/universality.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::uint32_t dim = 8;
+  const std::uint32_t n = 1u << dim;  // 256 processors
+  const auto net = ft::build_hypercube(dim);
+  const auto layout = ft::layout_hypercube(n);
+
+  std::printf("simulating a %u-processor hypercube (volume %.0f) on the\n"
+              "universal fat-tree of the same volume\n\n",
+              n, layout.volume());
+
+  ft::Rng rng(7);
+  ft::Table table({"workload", "hypercube rounds t", "fat-tree cycles",
+                   "slowdown", "lg^3 n", "slowdown/lg^3 n"});
+  for (const auto& wl : ft::standard_workloads(n, rng)) {
+    const auto r = ft::simulate_network_on_fattree(net, layout, wl.messages);
+    table.row()
+        .add(wl.name)
+        .add(static_cast<std::uint64_t>(r.competitor_rounds))
+        .add(r.ft_cycles)
+        .add(r.slowdown, 1)
+        .add(r.lg3_n, 0)
+        .add(r.slowdown / r.lg3_n, 3);
+  }
+  table.print(std::cout, "Theorem 10: equal-volume simulation");
+
+  std::printf(
+      "\nThe slowdown column stays a small fraction of lg^3 n for every\n"
+      "workload: any message set the hypercube delivers in time t, the\n"
+      "equal-volume fat-tree delivers off-line in O(t lg^3 n).\n");
+  return 0;
+}

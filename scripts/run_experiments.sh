@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates every experiment table (E1-E15 + microbenchmarks) from a
+# configured build directory (default: build). Output mirrors
+# bench_output.txt at the repository root.
+set -e
+BUILD_DIR="${1:-build}"
+for b in "$BUILD_DIR"/bench/*; do
+  echo
+  echo "############ $b ############"
+  "$b"
+done

@@ -1,0 +1,60 @@
+// Incremental per-channel load tracking for one delivery cycle. Shared by
+// the schedulers: supports tentative "does this set still fit?" probes
+// without O(n) clears by rolling back touched counters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+
+namespace ft {
+
+class CycleLoads {
+ public:
+  explicit CycleLoads(const FatTreeTopology& topo)
+      : counts_(channel_index_bound(topo), 0) {}
+
+  /// Adds the paths of `m` on top of the current counts and reports whether
+  /// every channel stays within capacity. When `commit` is false (or the
+  /// set does not fit) the counts are rolled back.
+  bool try_add(const FatTreeTopology& topo, const CapacityProfile& caps,
+               const MessageSet& m, bool commit) {
+    bool ok = true;
+    touched_.clear();
+    for (const auto& msg : m) {
+      topo.for_each_channel_on_path(msg.src, msg.dst, [&](ChannelId c) {
+        const std::size_t idx = channel_index(c);
+        ++counts_[idx];
+        touched_.push_back(idx);
+        if (counts_[idx] > caps.capacity(topo, c.node)) ok = false;
+      });
+    }
+    if (!ok || !commit) {
+      for (std::size_t idx : touched_) --counts_[idx];
+    }
+    return ok;
+  }
+
+  /// Single-message variant of try_add.
+  bool try_add_one(const FatTreeTopology& topo, const CapacityProfile& caps,
+                   const Message& msg, bool commit) {
+    const MessageSet single{msg};
+    return try_add(topo, caps, single, commit);
+  }
+
+  void reset() { std::fill(counts_.begin(), counts_.end(), 0); }
+
+  std::uint32_t count(const ChannelId& c) const {
+    return counts_[channel_index(c)];
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::size_t> touched_;
+};
+
+}  // namespace ft

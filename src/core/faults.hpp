@@ -1,0 +1,52 @@
+// Fault injection (Section VII names fault tolerance among the problems a
+// real machine must solve). The wire-level failure model: each wire of
+// each channel fails independently with probability p; a channel keeps
+// max(1, surviving wires) capacity (the last wire pair is assumed
+// repairable/spared so the tree stays connected — a dead internal channel
+// would partition the unique-path network, which is a packaging problem,
+// not a routing one).
+//
+// The paper's robustness remark ("one need not worry about the exact
+// capacities of channels as long as the capacities exhibit reasonable
+// growth") predicts graceful degradation: delivery cycles should grow
+// like 1/(1-p), not cliff. Experiment `exp_fault_tolerance` measures it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/capacity.hpp"
+#include "core/topology.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+struct FaultReport {
+  std::uint64_t wires_before = 0;
+  std::uint64_t wires_after = 0;
+  std::uint32_t channels_degraded = 0;
+  std::uint32_t channels_at_floor = 0;  ///< reduced to the 1-wire floor
+
+  double survival_rate() const {
+    return wires_before
+               ? static_cast<double>(wires_after) /
+                     static_cast<double>(wires_before)
+               : 1.0;
+  }
+};
+
+/// Fails each wire of each channel independently with probability
+/// `wire_failure_prob`; returns the degraded profile. Deterministic given
+/// the RNG seed. `report` (optional) receives the damage summary.
+CapacityProfile inject_wire_faults(const FatTreeTopology& topo,
+                                   const CapacityProfile& caps,
+                                   double wire_failure_prob, Rng& rng,
+                                   FaultReport* report = nullptr);
+
+/// Fails `count` whole channels chosen uniformly at random (each drops to
+/// the 1-wire floor): the coarse "broken cable" model.
+CapacityProfile fail_random_channels(const FatTreeTopology& topo,
+                                     const CapacityProfile& caps,
+                                     std::uint32_t count, Rng& rng,
+                                     FaultReport* report = nullptr);
+
+}  // namespace ft

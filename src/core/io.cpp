@@ -1,0 +1,59 @@
+#include "core/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace ft {
+
+void write_message_set(std::ostream& os, const MessageSet& m) {
+  os << "messages " << m.size() << '\n';
+  for (const auto& msg : m) {
+    os << msg.src << ' ' << msg.dst << '\n';
+  }
+}
+
+std::optional<MessageSet> read_message_set(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "messages") return std::nullopt;
+  MessageSet m;
+  m.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Leaf src = 0, dst = 0;
+    if (!(is >> src >> dst)) return std::nullopt;
+    m.push_back({src, dst});
+  }
+  return m;
+}
+
+void write_schedule(std::ostream& os, const Schedule& s) {
+  os << "schedule " << s.cycles.size() << '\n';
+  for (const auto& cycle : s.cycles) {
+    os << "cycle " << cycle.size() << '\n';
+    for (const auto& msg : cycle) {
+      os << msg.src << ' ' << msg.dst << '\n';
+    }
+  }
+}
+
+std::optional<Schedule> read_schedule(std::istream& is) {
+  std::string tag;
+  std::size_t cycles = 0;
+  if (!(is >> tag >> cycles) || tag != "schedule") return std::nullopt;
+  Schedule s;
+  s.cycles.resize(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    std::size_t count = 0;
+    if (!(is >> tag >> count) || tag != "cycle") return std::nullopt;
+    s.cycles[c].reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Leaf src = 0, dst = 0;
+      if (!(is >> src >> dst)) return std::nullopt;
+      s.cycles[c].push_back({src, dst});
+    }
+  }
+  return s;
+}
+
+}  // namespace ft

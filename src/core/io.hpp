@@ -1,0 +1,28 @@
+// Plain-text serialization of message sets and schedules. Section VI's
+// point about compiled switch settings — "the results apply to practical
+// situations when the settings of switches can be compiled" — needs the
+// compiled artifact to be storable: schedule once, replay every emulated
+// step.
+//
+// Formats (line-oriented, whitespace-separated):
+//   message set:  "messages <count>" then one "src dst" pair per line
+//   schedule:     "schedule <cycles>" then per cycle
+//                 "cycle <count>" and its "src dst" lines
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "core/message.hpp"
+#include "core/offline_scheduler.hpp"
+
+namespace ft {
+
+void write_message_set(std::ostream& os, const MessageSet& m);
+/// Returns nullopt on malformed input.
+std::optional<MessageSet> read_message_set(std::istream& is);
+
+void write_schedule(std::ostream& os, const Schedule& s);
+std::optional<Schedule> read_schedule(std::istream& is);
+
+}  // namespace ft

@@ -1,0 +1,71 @@
+#include "core/load.hpp"
+
+#include <algorithm>
+
+namespace ft {
+
+LoadMap compute_loads(const FatTreeTopology& topo, const MessageSet& m) {
+  LoadMap loads;
+  loads.up.assign(topo.num_nodes() + 1, 0);
+  loads.down.assign(topo.num_nodes() + 1, 0);
+  for (const auto& msg : m) {
+    topo.for_each_channel_on_path(msg.src, msg.dst, [&](ChannelId c) {
+      if (c.dir == Direction::Up) {
+        ++loads.up[c.node];
+      } else {
+        ++loads.down[c.node];
+      }
+    });
+  }
+  return loads;
+}
+
+double load_factor(const FatTreeTopology& topo, const CapacityProfile& caps,
+                   const LoadMap& loads) {
+  double lambda = 0.0;
+  for (NodeId v = 1; v <= topo.num_nodes(); ++v) {
+    const auto cap = static_cast<double>(caps.capacity(topo, v));
+    lambda = std::max(lambda, static_cast<double>(loads.up[v]) / cap);
+    lambda = std::max(lambda, static_cast<double>(loads.down[v]) / cap);
+  }
+  return lambda;
+}
+
+double load_factor(const FatTreeTopology& topo, const CapacityProfile& caps,
+                   const MessageSet& m) {
+  return load_factor(topo, caps, compute_loads(topo, m));
+}
+
+bool is_one_cycle(const FatTreeTopology& topo, const CapacityProfile& caps,
+                  const MessageSet& m) {
+  const LoadMap loads = compute_loads(topo, m);
+  for (NodeId v = 1; v <= topo.num_nodes(); ++v) {
+    const std::uint64_t cap = caps.capacity(topo, v);
+    if (loads.up[v] > cap || loads.down[v] > cap) return false;
+  }
+  return true;
+}
+
+ChannelId bottleneck_channel(const FatTreeTopology& topo,
+                             const CapacityProfile& caps,
+                             const MessageSet& m) {
+  const LoadMap loads = compute_loads(topo, m);
+  ChannelId best{0, Direction::Up};
+  double best_lambda = -1.0;
+  for (NodeId v = 1; v <= topo.num_nodes(); ++v) {
+    const auto cap = static_cast<double>(caps.capacity(topo, v));
+    const double lu = static_cast<double>(loads.up[v]) / cap;
+    const double ld = static_cast<double>(loads.down[v]) / cap;
+    if (lu > best_lambda) {
+      best_lambda = lu;
+      best = {v, Direction::Up};
+    }
+    if (ld > best_lambda) {
+      best_lambda = ld;
+      best = {v, Direction::Down};
+    }
+  }
+  return best;
+}
+
+}  // namespace ft

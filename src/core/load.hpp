@@ -1,0 +1,51 @@
+// Channel loads and the load factor (Section III).
+//
+//   load(M, c)  = number of messages of M whose tree path uses channel c
+//   λ(M, c)     = load(M, c) / cap(c)
+//   λ(M)        = max over channels c of λ(M, c)
+//
+// λ(M) lower-bounds the number of delivery cycles of any schedule; the
+// off-line scheduler (Theorem 1) gets within a factor of O(lg n) of it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+
+namespace ft {
+
+/// Per-channel message counts, indexed by the node beneath the channel.
+struct LoadMap {
+  std::vector<std::uint32_t> up;    ///< up[v]   = load on channel (v, Up)
+  std::vector<std::uint32_t> down;  ///< down[v] = load on channel (v, Down)
+
+  std::uint32_t get(const ChannelId& c) const {
+    return c.dir == Direction::Up ? up[c.node] : down[c.node];
+  }
+};
+
+/// Computes load(M, c) for every channel. O(|M| · lg n).
+LoadMap compute_loads(const FatTreeTopology& topo, const MessageSet& m);
+
+/// λ(M): the maximum over channels of load/capacity. Zero for empty M.
+double load_factor(const FatTreeTopology& topo, const CapacityProfile& caps,
+                   const MessageSet& m);
+
+/// λ(M, c) maximized over a precomputed LoadMap (avoids recomputing loads).
+double load_factor(const FatTreeTopology& topo, const CapacityProfile& caps,
+                   const LoadMap& loads);
+
+/// True iff M is a one-cycle message set: load(M, c) <= cap(c) everywhere.
+bool is_one_cycle(const FatTreeTopology& topo, const CapacityProfile& caps,
+                  const MessageSet& m);
+
+/// The channel achieving the max load factor (ties broken toward the root;
+/// {0, Up} when M is empty). Useful for experiment diagnostics.
+ChannelId bottleneck_channel(const FatTreeTopology& topo,
+                             const CapacityProfile& caps,
+                             const MessageSet& m);
+
+}  // namespace ft

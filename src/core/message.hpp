@@ -1,0 +1,32 @@
+// Messages and message sets (Section II). A message set M ⊆ P × P; each
+// message travels the unique tree path from its source leaf to its
+// destination leaf.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace ft {
+
+struct Message {
+  Leaf src;
+  Leaf dst;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+using MessageSet = std::vector<Message>;
+
+/// True iff every endpoint of every message names a valid processor.
+inline bool valid_message_set(const FatTreeTopology& topo,
+                              const MessageSet& m) {
+  for (const auto& msg : m) {
+    if (msg.src >= topo.num_processors() || msg.dst >= topo.num_processors())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace ft

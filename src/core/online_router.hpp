@@ -1,0 +1,48 @@
+// On-line randomized routing (the extension sketched in Sections II and
+// VI and developed in Greenberg & Leiserson, "Randomized routing on
+// fat-trees", FOCS 1985 — reference [8] of the paper).
+//
+// Model: traffic is batched into delivery cycles. In a cycle, every
+// still-undelivered message attempts its unique tree path. At each channel
+// the concentrator can carry only cap(c) messages; when more contend, a
+// random cap(c)-subset survives and the rest are *lost* (the paper's
+// congestion + acknowledgment mechanism — the source learns of the loss
+// and retries next cycle). The FOCS result shows all messages are
+// delivered in O(λ(M) + lg n · lg lg n) cycles with high probability;
+// experiment E11 measures exactly that curve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+struct OnlineRoutingResult {
+  std::uint32_t delivery_cycles = 0;
+  std::uint64_t total_attempts = 0;   ///< Message-attempts over all cycles.
+  std::uint64_t total_losses = 0;     ///< Attempts killed by congestion.
+  std::vector<std::uint32_t> delivered_per_cycle;
+};
+
+struct OnlineRouterOptions {
+  /// Give up after this many cycles (0 = 64·(λ + lg² n) safety default).
+  std::uint32_t max_cycles = 0;
+  /// Concentrator effectiveness: a channel of capacity c accepts
+  /// floor(alpha * c) messages but at least 1 (alpha = 1 models the ideal
+  /// concentrator; 3/4 models the partial concentrators of Section IV).
+  double alpha = 1.0;
+};
+
+/// Routes m on-line; every message is delivered by termination.
+/// Deterministic given `rng`'s seed.
+OnlineRoutingResult route_online(const FatTreeTopology& topo,
+                                 const CapacityProfile& caps,
+                                 const MessageSet& m, Rng& rng,
+                                 const OnlineRouterOptions& opts = {});
+
+}  // namespace ft

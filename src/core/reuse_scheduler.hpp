@@ -1,0 +1,42 @@
+// Corollary 2 scheduling: when every channel has capacity at least
+// a · lg n for some a > 1, the O(lg n) factor of Theorem 1 disappears.
+//
+// The trick: give each channel a *fictitious* capacity
+// cap'(c) = cap(c) − slack (slack = Θ(lg n)), compute the fictitious load
+// factor λ', and partition the messages crossing *each* node into the same
+// r = Θ(λ') sets — reusing the root-level partition count all the way down
+// instead of starting a fresh partition per level. The per-node even
+// splits each miss perfection by at most a constant, and a channel at
+// level k sees contributions from at most k ancestor partitions, so the
+// accumulated error stays below the slack and the true capacities are
+// never exceeded.
+#pragma once
+
+#include <cstdint>
+
+#include "core/offline_scheduler.hpp"
+
+namespace ft {
+
+struct ReuseScheduleResult {
+  Schedule schedule;
+  /// λ'(M): load factor under the fictitious (slack-reduced) capacities.
+  double fictitious_load_factor = 0.0;
+  /// Number of sets the partition targeted (power of two >= 2·λ').
+  std::uint32_t target_cycles = 0;
+  /// Messages that exceeded a true capacity and were re-scheduled with the
+  /// Theorem 1 algorithm (0 whenever the Corollary 2 premise
+  /// cap(c) >= a·lg n, a > 2, holds — asserted by tests).
+  std::size_t repaired_messages = 0;
+};
+
+/// Schedules m in ~2λ' delivery cycles (rounded up to a power of two).
+/// `slack` defaults to 2·lg n; the premise cap(c) >= slack + 1 for all
+/// channels is not required for correctness (a repair pass re-schedules
+/// any overflow), only for the cycle-count guarantee.
+ReuseScheduleResult schedule_reuse(const FatTreeTopology& topo,
+                                   const CapacityProfile& caps,
+                                   const MessageSet& m,
+                                   std::uint32_t slack = 0);
+
+}  // namespace ft

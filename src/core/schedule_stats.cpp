@@ -1,0 +1,102 @@
+#include "core/schedule_stats.hpp"
+
+#include <algorithm>
+
+#include "core/load.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+namespace {
+
+/// Used and available wire-slots of one cycle, overall / root-only.
+struct CycleUse {
+  std::uint64_t used = 0;
+  std::uint64_t avail = 0;
+  std::uint64_t root_used = 0;
+  std::uint64_t root_avail = 0;
+};
+
+CycleUse measure_cycle(const FatTreeTopology& topo,
+                       const CapacityProfile& caps, const MessageSet& cycle) {
+  CycleUse use;
+  const LoadMap loads = compute_loads(topo, cycle);
+  // Node 1's channel is the external interface: internal traffic cannot
+  // use it, so it does not count toward the wire budget.
+  for (NodeId v = 2; v <= topo.num_nodes(); ++v) {
+    const std::uint64_t cap = caps.capacity(topo, v);
+    use.used += std::min<std::uint64_t>(loads.up[v], cap) +
+                std::min<std::uint64_t>(loads.down[v], cap);
+    use.avail += 2 * cap;
+    if (topo.channel_level(v) == 1) {
+      use.root_used += std::min<std::uint64_t>(loads.up[v], cap) +
+                       std::min<std::uint64_t>(loads.down[v], cap);
+      use.root_avail += 2 * cap;
+    }
+  }
+  return use;
+}
+
+}  // namespace
+
+ScheduleStats analyze_schedule(const FatTreeTopology& topo,
+                               const CapacityProfile& caps,
+                               const Schedule& schedule) {
+  ScheduleStats stats;
+  stats.cycles = schedule.num_cycles();
+  stats.messages = schedule.total_messages();
+  if (stats.cycles == 0) return stats;
+
+  double sum_util = 0.0;
+  double max_util = 0.0;
+  double min_util = 2.0;
+  std::uint64_t root_used = 0, root_avail = 0;
+  for (const auto& cycle : schedule.cycles) {
+    const CycleUse use = measure_cycle(topo, caps, cycle);
+    const double util = use.avail
+                            ? static_cast<double>(use.used) /
+                                  static_cast<double>(use.avail)
+                            : 0.0;
+    sum_util += util;
+    max_util = std::max(max_util, util);
+    if (!cycle.empty()) min_util = std::min(min_util, util);
+    root_used += use.root_used;
+    root_avail += use.root_avail;
+  }
+  stats.mean_utilization = sum_util / static_cast<double>(stats.cycles);
+  stats.max_cycle_utilization = max_util;
+  stats.min_cycle_utilization = min_util > 1.5 ? 0.0 : min_util;
+  stats.root_utilization =
+      root_avail ? static_cast<double>(root_used) /
+                       static_cast<double>(root_avail)
+                 : 0.0;
+  stats.throughput = static_cast<double>(stats.messages) /
+                     static_cast<double>(stats.cycles);
+  return stats;
+}
+
+std::vector<double> per_level_utilization(const FatTreeTopology& topo,
+                                          const CapacityProfile& caps,
+                                          const Schedule& schedule) {
+  const std::uint32_t L = topo.height();
+  std::vector<std::uint64_t> used(L + 1, 0), avail(L + 1, 0);
+  for (const auto& cycle : schedule.cycles) {
+    const LoadMap loads = compute_loads(topo, cycle);
+    for (NodeId v = 2; v <= topo.num_nodes(); ++v) {
+      const std::uint32_t k = topo.channel_level(v);
+      const std::uint64_t cap = caps.capacity(topo, v);
+      used[k] += std::min<std::uint64_t>(loads.up[v], cap) +
+                 std::min<std::uint64_t>(loads.down[v], cap);
+      avail[k] += 2 * cap;
+    }
+  }
+  std::vector<double> util(L + 1, 0.0);
+  for (std::uint32_t k = 0; k <= L; ++k) {
+    util[k] = avail[k] ? static_cast<double>(used[k]) /
+                             static_cast<double>(avail[k])
+                       : 0.0;
+  }
+  return util;
+}
+
+}  // namespace ft

@@ -1,0 +1,5 @@
+#include "core/topology.hpp"
+
+// Header-only implementation; kept as a translation unit for the library
+// archive and future out-of-line additions.
+namespace ft {}

@@ -1,0 +1,154 @@
+// The fat-tree topology of Section II of the paper: n = 2^L processors at
+// the leaves of a complete binary tree whose internal nodes are switches.
+// Each tree edge carries two channels (an up channel toward the root and a
+// down channel toward the leaves); the root additionally owns the external
+// interface channel.
+//
+// Nodes use heap numbering: node 1 is the root, node i has children 2i and
+// 2i+1, and leaf p (0 <= p < n) is node n + p. A channel is named by the
+// node *beneath* it plus a direction, and — following the paper — a
+// channel's level equals the level of the node beneath it (root channel at
+// level 0, processor channels at level L = lg n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+using NodeId = std::uint32_t;
+using Leaf = std::uint32_t;
+
+enum class Direction : std::uint8_t { Up = 0, Down = 1 };
+
+/// A channel of the fat-tree: the (node, direction) pair for the channel on
+/// the edge between `node` and its parent (or the external world when
+/// node == 1).
+struct ChannelId {
+  NodeId node;
+  Direction dir;
+
+  friend bool operator==(const ChannelId&, const ChannelId&) = default;
+};
+
+class FatTreeTopology {
+ public:
+  /// n must be a power of two, n >= 2.
+  explicit FatTreeTopology(std::uint32_t n)
+      : n_(n), levels_(floor_log2(n)) {
+    FT_CHECK_MSG(is_pow2(n) && n >= 2, "n must be a power of two >= 2");
+  }
+
+  std::uint32_t num_processors() const { return n_; }
+  /// L = lg n; the root is at level 0, leaves at level L.
+  std::uint32_t height() const { return levels_; }
+  std::uint32_t num_nodes() const { return 2 * n_ - 1; }
+  /// Channels are indexed by the node beneath them: 1..2n-1.
+  std::uint32_t num_channels() const { return 2 * n_ - 1; }
+
+  NodeId root() const { return 1; }
+  NodeId node_of_leaf(Leaf p) const {
+    FT_CHECK(p < n_);
+    return n_ + p;
+  }
+  Leaf leaf_of_node(NodeId v) const {
+    FT_CHECK(is_leaf(v));
+    return v - n_;
+  }
+  bool is_leaf(NodeId v) const { return v >= n_; }
+  NodeId parent(NodeId v) const {
+    FT_CHECK(v > 1);
+    return v >> 1;
+  }
+  NodeId left_child(NodeId v) const {
+    FT_CHECK(!is_leaf(v));
+    return 2 * v;
+  }
+  NodeId right_child(NodeId v) const {
+    FT_CHECK(!is_leaf(v));
+    return 2 * v + 1;
+  }
+  std::uint32_t level(NodeId v) const {
+    FT_CHECK(v >= 1 && v < 2 * n_);
+    return floor_log2(v);
+  }
+
+  /// The level of the channel above node v (paper convention: equals the
+  /// level of v itself; the root's external channel is level 0).
+  std::uint32_t channel_level(NodeId v) const { return level(v); }
+
+  /// Lowest common ancestor of two leaves.
+  NodeId lca(Leaf p, Leaf q) const {
+    NodeId a = node_of_leaf(p);
+    NodeId b = node_of_leaf(q);
+    while (a != b) {
+      a >>= 1;
+      b >>= 1;
+    }
+    return a;
+  }
+
+  /// True iff leaf p lies in the subtree rooted at node v.
+  bool leaf_in_subtree(Leaf p, NodeId v) const {
+    NodeId a = node_of_leaf(p);
+    const std::uint32_t up = levels_ - level(v);
+    return (a >> up) == v;
+  }
+
+  /// First (leftmost) and last leaf of the subtree rooted at v.
+  Leaf subtree_first_leaf(NodeId v) const {
+    const std::uint32_t up = levels_ - level(v);
+    return (v << up) - n_;
+  }
+  Leaf subtree_last_leaf(NodeId v) const {
+    const std::uint32_t up = levels_ - level(v);
+    return ((v + 1) << up) - n_ - 1;
+  }
+  std::uint32_t subtree_size(NodeId v) const {
+    return std::uint32_t{1} << (levels_ - level(v));
+  }
+
+  /// Visits every channel on the unique tree path of a message from leaf s
+  /// to leaf t: up channels above the nodes from leaf(s) up to (and
+  /// including) the child of the LCA on s's side, then down channels
+  /// symmetrically on t's side. Visits nothing when s == t.
+  template <typename Fn>
+  void for_each_channel_on_path(Leaf s, Leaf t, Fn&& fn) const {
+    if (s == t) return;
+    NodeId a = node_of_leaf(s);
+    NodeId b = node_of_leaf(t);
+    while (a != b) {
+      fn(ChannelId{a, Direction::Up});
+      fn(ChannelId{b, Direction::Down});
+      a >>= 1;
+      b >>= 1;
+    }
+  }
+
+  /// Number of channels traversed by a message from s to t
+  /// (2 * levels-below-LCA).
+  std::uint32_t path_length(Leaf s, Leaf t) const {
+    if (s == t) return 0;
+    return 2 * (levels_ - level(lca(s, t)));
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t levels_;
+};
+
+/// Flat array index for a channel: node * 2 + direction. Arrays are sized
+/// channel_index_bound(topology).
+inline std::size_t channel_index(const ChannelId& c) {
+  return static_cast<std::size_t>(c.node) * 2 +
+         static_cast<std::size_t>(c.dir);
+}
+
+inline std::size_t channel_index_bound(const FatTreeTopology& t) {
+  return static_cast<std::size_t>(t.num_nodes() + 1) * 2;
+}
+
+}  // namespace ft

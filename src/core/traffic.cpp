@@ -1,0 +1,188 @@
+#include "core/traffic.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+MessageSet random_permutation_traffic(std::uint32_t n, Rng& rng) {
+  MessageSet m;
+  m.reserve(n);
+  const auto perm = rng.permutation(n);
+  for (std::uint32_t p = 0; p < n; ++p) m.push_back({p, perm[p]});
+  return m;
+}
+
+MessageSet bit_reversal_traffic(std::uint32_t n) {
+  FT_CHECK(is_pow2(n));
+  const std::uint32_t bits = floor_log2(n);
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    m.push_back({p, static_cast<Leaf>(reverse_bits(p, bits))});
+  }
+  return m;
+}
+
+MessageSet transpose_traffic(std::uint32_t n) {
+  FT_CHECK(is_pow2(n));
+  const std::uint32_t bits = floor_log2(n);
+  const std::uint32_t half = bits / 2;
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::uint32_t lo = p & ((1u << half) - 1);
+    const std::uint32_t hi = p >> half;
+    // Swap the low `half` bits with the remaining high bits.
+    const std::uint32_t dst = (lo << (bits - half)) | hi;
+    m.push_back({p, dst});
+  }
+  return m;
+}
+
+MessageSet shuffle_traffic(std::uint32_t n) {
+  FT_CHECK(is_pow2(n));
+  const std::uint32_t bits = floor_log2(n);
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::uint32_t dst = ((p << 1) | (p >> (bits - 1))) & (n - 1);
+    m.push_back({p, dst});
+  }
+  return m;
+}
+
+MessageSet complement_traffic(std::uint32_t n) {
+  FT_CHECK(is_pow2(n));
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) m.push_back({p, (n - 1) ^ p});
+  return m;
+}
+
+MessageSet uniform_random_traffic(std::uint32_t n, std::size_t count,
+                                  Rng& rng) {
+  MessageSet m;
+  m.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    m.push_back({static_cast<Leaf>(rng.below(n)),
+                 static_cast<Leaf>(rng.below(n))});
+  }
+  return m;
+}
+
+MessageSet hotspot_traffic(std::uint32_t n, double fraction, Leaf hot,
+                           Rng& rng) {
+  FT_CHECK(hot < n);
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (rng.chance(fraction)) {
+      m.push_back({p, hot});
+    } else {
+      m.push_back({p, static_cast<Leaf>(rng.below(n))});
+    }
+  }
+  return m;
+}
+
+MessageSet local_traffic(std::uint32_t n, std::uint32_t radius, Rng& rng) {
+  FT_CHECK(radius >= 1);
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const auto offset = static_cast<std::int64_t>(
+        rng.range(-static_cast<std::int64_t>(radius),
+                  static_cast<std::int64_t>(radius)));
+    const auto dst = static_cast<Leaf>(
+        (static_cast<std::int64_t>(p) + offset + n) % n);
+    m.push_back({p, dst});
+  }
+  return m;
+}
+
+MessageSet fem_halo_traffic(std::uint32_t rows, std::uint32_t cols) {
+  MessageSet m;
+  m.reserve(static_cast<std::size_t>(rows) * cols * 4);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      const Leaf self = id(r, c);
+      if (r > 0) m.push_back({self, id(r - 1, c)});
+      if (r + 1 < rows) m.push_back({self, id(r + 1, c)});
+      if (c > 0) m.push_back({self, id(r, c - 1)});
+      if (c + 1 < cols) m.push_back({self, id(r, c + 1)});
+    }
+  }
+  return m;
+}
+
+MessageSet stacked_permutations(std::uint32_t n, std::uint32_t k, Rng& rng) {
+  MessageSet m;
+  m.reserve(static_cast<std::size_t>(n) * k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const auto one = random_permutation_traffic(n, rng);
+    m.insert(m.end(), one.begin(), one.end());
+  }
+  return m;
+}
+
+MessageSet tornado_traffic(std::uint32_t n) {
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    m.push_back({p, (p + n / 2 - 1) % n});
+  }
+  return m;
+}
+
+MessageSet ring_shift_traffic(std::uint32_t n, std::uint32_t offset) {
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) m.push_back({p, (p + offset) % n});
+  return m;
+}
+
+MessageSet all_to_all_traffic(std::uint32_t n) {
+  MessageSet m;
+  m.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (std::uint32_t p = 0; p < n; ++p) {
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (p != q) m.push_back({p, q});
+    }
+  }
+  return m;
+}
+
+MessageSet bisection_flood_traffic(std::uint32_t n, std::uint32_t count,
+                                   Rng& rng) {
+  MessageSet m;
+  m.reserve(static_cast<std::size_t>(n / 2) * count);
+  for (std::uint32_t p = 0; p < n / 2; ++p) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      m.push_back({p, static_cast<Leaf>(n / 2 + rng.below(n / 2))});
+    }
+  }
+  return m;
+}
+
+std::vector<NamedWorkload> standard_workloads(std::uint32_t n, Rng& rng) {
+  std::vector<NamedWorkload> out;
+  out.push_back({"random-perm", random_permutation_traffic(n, rng)});
+  out.push_back({"bit-reversal", bit_reversal_traffic(n)});
+  out.push_back({"transpose", transpose_traffic(n)});
+  out.push_back({"shuffle", shuffle_traffic(n)});
+  out.push_back({"complement", complement_traffic(n)});
+  out.push_back({"hotspot-10%", hotspot_traffic(n, 0.10, n / 3, rng)});
+  out.push_back({"local-r4", local_traffic(n, 4, rng)});
+  // FEM halo on a sqrt(n) x sqrt(n) grid when n is an even power of two;
+  // otherwise a 2:1 grid.
+  const std::uint32_t bits = floor_log2(n);
+  const std::uint32_t rows = 1u << (bits / 2);
+  const std::uint32_t cols = n / rows;
+  out.push_back({"fem-halo", fem_halo_traffic(rows, cols)});
+  out.push_back({"tornado", tornado_traffic(n)});
+  return out;
+}
+
+}  // namespace ft

@@ -1,0 +1,83 @@
+// Workload generators. These are the message sets the experiments route:
+// classical permutations (random, bit reversal, transpose, shuffle, the
+// bisection-adversarial "complement"), volume traffic (uniform random,
+// hot spot), locality-controlled traffic, and the finite-element halo
+// exchange workload the paper's introduction motivates (planar meshes need
+// only O(sqrt n) bisection width, so a fat-tree can be sized to them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/message.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+/// Uniformly random permutation: each processor sends to a distinct
+/// destination.
+MessageSet random_permutation_traffic(std::uint32_t n, Rng& rng);
+
+/// Bit-reversal permutation: p -> reverse of p's lg n bits. A classical
+/// hard case for banyan-style networks.
+MessageSet bit_reversal_traffic(std::uint32_t n);
+
+/// Transpose permutation: swap the high and low halves of the address bits
+/// (requires lg n even; otherwise rotates by floor(lg n / 2)).
+MessageSet transpose_traffic(std::uint32_t n);
+
+/// Perfect-shuffle permutation: left-rotate the address bits by one.
+MessageSet shuffle_traffic(std::uint32_t n);
+
+/// Complement permutation: p -> p XOR (n-1). Every message crosses the
+/// root — the worst case for the root channel and the paper's bisection
+/// bound made flesh.
+MessageSet complement_traffic(std::uint32_t n);
+
+/// m messages with independently uniform random sources and destinations.
+MessageSet uniform_random_traffic(std::uint32_t n, std::size_t m, Rng& rng);
+
+/// Every processor sends one message; a `fraction` of them aim at a single
+/// hot processor, the rest are uniform.
+MessageSet hotspot_traffic(std::uint32_t n, double fraction, Leaf hot,
+                           Rng& rng);
+
+/// Locality-controlled: each processor sends to a destination within
+/// +/- radius (wrapping). Small radius keeps traffic low in the tree.
+MessageSet local_traffic(std::uint32_t n, std::uint32_t radius, Rng& rng);
+
+/// Finite-element halo exchange: processors hold the cells of a
+/// rows x cols grid (row-major on the leaves); every processor sends one
+/// message to each existing 4-neighbour. rows*cols must equal n.
+MessageSet fem_halo_traffic(std::uint32_t rows, std::uint32_t cols);
+
+/// k independent random permutations concatenated (load factor scales
+/// with k — used to sweep λ(M)).
+MessageSet stacked_permutations(std::uint32_t n, std::uint32_t k, Rng& rng);
+
+/// Tornado: p -> (p + n/2 - 1) mod n; the classical adversary for ring
+/// and torus networks, near-worst-case bisection pressure on trees too.
+MessageSet tornado_traffic(std::uint32_t n);
+
+/// Ring shift by a fixed offset: p -> (p + offset) mod n.
+MessageSet ring_shift_traffic(std::uint32_t n, std::uint32_t offset);
+
+/// Full all-to-all: every ordered pair (p, q), p != q — n(n-1) messages;
+/// use small n.
+MessageSet all_to_all_traffic(std::uint32_t n);
+
+/// Bisection flood: every processor in the left half sends `count`
+/// messages to uniform destinations in the right half (stress for the
+/// root channels; λ = count·(n/2)/w on a universal tree).
+MessageSet bisection_flood_traffic(std::uint32_t n, std::uint32_t count,
+                                   Rng& rng);
+
+/// Named-workload dispatch used by the experiment binaries.
+struct NamedWorkload {
+  std::string name;
+  MessageSet messages;
+};
+std::vector<NamedWorkload> standard_workloads(std::uint32_t n, Rng& rng);
+
+}  // namespace ft

@@ -1,0 +1,101 @@
+#include "kary/kary_routing.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+std::uint64_t KaryLoadTracker::max_load() const {
+  std::uint64_t m = 0;
+  for (auto l : load_) m = std::max(m, l);
+  return m;
+}
+
+double KaryLoadTracker::mean_positive_load() const {
+  std::uint64_t sum = 0, cnt = 0;
+  for (auto l : load_) {
+    if (l > 0) {
+      sum += l;
+      ++cnt;
+    }
+  }
+  return cnt ? static_cast<double>(sum) / static_cast<double>(cnt) : 0.0;
+}
+
+KaryRoute kary_route(const KaryTree& tree, std::uint32_t src,
+                     std::uint32_t dst, AscentPolicy policy, Rng& rng,
+                     KaryLoadTracker& tracker) {
+  KaryRoute route;
+  if (src == dst) return route;
+
+  const std::uint32_t levels = tree.levels();
+  const std::uint32_t k = tree.k();
+  const std::uint32_t nca = tree.nca_level(src, dst);
+
+  route.push_back(tree.injection_link_id(src));
+  tracker.add(route.back());
+
+  std::uint32_t word = tree.switch_of_processor(src);
+  std::uint32_t level = levels - 1;
+
+  // Ascend to rank nca (if the switches differ). Each hop from rank l to
+  // l-1 rewrites digit l-1 according to the policy.
+  while (level > nca) {
+    const std::uint32_t digit_index = level - 1;
+    std::uint32_t digit = 0;
+    switch (policy) {
+      case AscentPolicy::DModK:
+        digit = dst % k;
+        break;
+      case AscentPolicy::Random:
+        digit = static_cast<std::uint32_t>(rng.below(k));
+        break;
+      case AscentPolicy::LeastLoaded: {
+        std::uint64_t best = ~std::uint64_t{0};
+        for (std::uint32_t d = 0; d < k; ++d) {
+          const std::uint64_t l = tracker.load(tree.up_link_id(level, word, d));
+          if (l < best) {
+            best = l;
+            digit = d;
+          }
+        }
+        break;
+      }
+    }
+    const std::uint32_t link = tree.up_link_id(level, word, digit);
+    route.push_back(link);
+    tracker.add(link);
+    word = tree.set_word_digit(word, digit_index, digit);
+    --level;
+  }
+
+  // Descend: digit at each rank is forced by the destination.
+  while (level < levels - 1) {
+    const std::uint32_t digit = tree.proc_digit(dst, level);
+    const std::uint32_t link = tree.down_link_id(level, word, digit);
+    route.push_back(link);
+    tracker.add(link);
+    word = tree.set_word_digit(word, level, digit);
+    ++level;
+  }
+  // Final hop: edge switch to the destination processor.
+  const std::uint32_t link =
+      tree.down_link_id(levels - 1, word, tree.proc_digit(dst, levels - 1));
+  route.push_back(link);
+  tracker.add(link);
+  FT_CHECK(word == tree.switch_of_processor(dst));
+  return route;
+}
+
+std::uint64_t route_permutation_congestion(
+    const KaryTree& tree, const std::vector<std::uint32_t>& perm,
+    AscentPolicy policy, Rng& rng) {
+  KaryLoadTracker tracker(tree);
+  for (std::uint32_t p = 0; p < perm.size(); ++p) {
+    kary_route(tree, p, perm[p], policy, rng, tracker);
+  }
+  return tracker.max_load();
+}
+
+}  // namespace ft

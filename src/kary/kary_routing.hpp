@@ -1,0 +1,51 @@
+// Up/down routing on k-ary n-trees with selectable ascent policy. A route
+// is a sequence of link ids: injection, up links to the nearest common
+// ancestor rank, then forced down links to the destination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kary/kary_tree.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+enum class AscentPolicy : std::uint8_t {
+  DModK,       ///< deterministic: up port = destination mod k everywhere
+  Random,      ///< uniform random up port per hop
+  LeastLoaded  ///< pick the up port whose link has least accumulated load
+};
+
+using KaryRoute = std::vector<std::uint32_t>;  // link ids
+
+/// Accumulated per-link load counters; LeastLoaded consults and updates
+/// them, the other policies only update (so experiments can compare the
+/// final distribution across policies).
+class KaryLoadTracker {
+ public:
+  explicit KaryLoadTracker(const KaryTree& tree)
+      : load_(tree.num_links(), 0) {}
+
+  std::uint64_t load(std::uint32_t link) const { return load_[link]; }
+  void add(std::uint32_t link) { ++load_[link]; }
+  std::uint64_t max_load() const;
+  double mean_positive_load() const;
+
+ private:
+  std::vector<std::uint64_t> load_;
+};
+
+/// Computes a route from processor src to dst (empty when src == dst) and
+/// charges it to the tracker.
+KaryRoute kary_route(const KaryTree& tree, std::uint32_t src,
+                     std::uint32_t dst, AscentPolicy policy, Rng& rng,
+                     KaryLoadTracker& tracker);
+
+/// Link-level congestion of routing a full permutation: the maximum link
+/// load, which lower-bounds delivery time on unit-capacity links.
+std::uint64_t route_permutation_congestion(const KaryTree& tree,
+                                           const std::vector<std::uint32_t>& perm,
+                                           AscentPolicy policy, Rng& rng);
+
+}  // namespace ft

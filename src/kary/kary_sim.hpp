@@ -1,0 +1,25 @@
+// Round-based delivery simulation on a k-ary n-tree: unit-capacity links,
+// synchronous store-and-forward with FIFO link queues. Reports rounds and
+// link-load statistics per ascent policy — the E13 ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kary/kary_routing.hpp"
+
+namespace ft {
+
+struct KarySimResult {
+  std::uint32_t rounds = 0;
+  std::uint64_t max_link_load = 0;
+  double mean_link_load = 0.0;
+  std::uint32_t max_route_hops = 0;
+};
+
+/// Routes the permutation under `policy` and simulates delivery.
+KarySimResult simulate_kary_permutation(const KaryTree& tree,
+                                        const std::vector<std::uint32_t>& perm,
+                                        AscentPolicy policy, Rng& rng);
+
+}  // namespace ft

@@ -1,0 +1,79 @@
+#include "kary/kary_tree.hpp"
+
+namespace ft {
+
+KaryTree::KaryTree(std::uint32_t k, std::uint32_t levels)
+    : k_(k), levels_(levels) {
+  FT_CHECK(k >= 2 && levels >= 2);
+  pow_k_.resize(levels + 1);
+  pow_k_[0] = 1;
+  for (std::uint32_t i = 1; i <= levels; ++i) {
+    pow_k_[i] = pow_k_[i - 1] * k;
+    FT_CHECK_MSG(pow_k_[i] / k == pow_k_[i - 1], "k^levels overflows");
+  }
+  num_procs_ = pow_k_[levels];
+  switches_per_level_ = pow_k_[levels - 1];
+  // Up links for levels 1..levels-1 (k per switch), down links for every
+  // level (k per switch), injection links (1 per processor).
+  num_links_ = (levels_ - 1) * switches_per_level_ * k_ +
+               levels_ * switches_per_level_ * k_ + num_procs_;
+}
+
+std::uint32_t KaryTree::proc_digit(std::uint32_t p, std::uint32_t i) const {
+  FT_CHECK(i < levels_);
+  return (p / pow_k_[levels_ - 1 - i]) % k_;
+}
+
+std::uint32_t KaryTree::word_digit(std::uint32_t w, std::uint32_t i) const {
+  FT_CHECK(i + 1 < levels_);
+  return (w / pow_k_[levels_ - 2 - i]) % k_;
+}
+
+std::uint32_t KaryTree::set_word_digit(std::uint32_t w, std::uint32_t i,
+                                       std::uint32_t value) const {
+  FT_CHECK(i + 1 < levels_ && value < k_);
+  const std::uint32_t weight = pow_k_[levels_ - 2 - i];
+  const std::uint32_t old = (w / weight) % k_;
+  return w + (value - old) * weight;
+}
+
+std::uint32_t KaryTree::nca_level(std::uint32_t a, std::uint32_t b) const {
+  std::uint32_t l = 0;
+  while (l < levels_ && proc_digit(a, l) == proc_digit(b, l)) ++l;
+  return l;
+}
+
+std::uint64_t KaryTree::path_diversity(std::uint32_t a,
+                                       std::uint32_t b) const {
+  const std::uint32_t nca = nca_level(a, b);
+  if (nca >= levels_ - 1) return 1;
+  // Each of the levels-1-nca ascent hops freely chooses one of k up
+  // ports; the descent is then forced.
+  std::uint64_t d = 1;
+  for (std::uint32_t hop = 0; hop < levels_ - 1 - nca; ++hop) d *= k_;
+  return d;
+}
+
+std::uint32_t KaryTree::up_link_id(std::uint32_t level, std::uint32_t word,
+                                   std::uint32_t digit) const {
+  FT_CHECK(level >= 1 && level < levels_);
+  FT_CHECK(word < switches_per_level_ && digit < k_);
+  return ((level - 1) * switches_per_level_ + word) * k_ + digit;
+}
+
+std::uint32_t KaryTree::down_link_id(std::uint32_t level, std::uint32_t word,
+                                     std::uint32_t digit) const {
+  FT_CHECK(level < levels_);
+  FT_CHECK(word < switches_per_level_ && digit < k_);
+  const std::uint32_t base = (levels_ - 1) * switches_per_level_ * k_;
+  return base + (level * switches_per_level_ + word) * k_ + digit;
+}
+
+std::uint32_t KaryTree::injection_link_id(std::uint32_t p) const {
+  FT_CHECK(p < num_procs_);
+  const std::uint32_t base = (levels_ - 1) * switches_per_level_ * k_ +
+                             levels_ * switches_per_level_ * k_;
+  return base + p;
+}
+
+}  // namespace ft

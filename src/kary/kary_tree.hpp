@@ -1,0 +1,75 @@
+// k-ary n-trees (Petrini & Vanneschi), the constant-radix folded-Clos
+// realization of fat-trees used by modern interconnects. This is the
+// repository's forward-looking extension: the 1985 paper's channels
+// fatten by adding wires to one switch per node, while practical networks
+// fatten by replicating constant-radix switches. The experiments compare
+// path-diversity routing policies on this topology (E13).
+//
+// Topology: P = k^levels processors; `levels` ranks of k^{levels-1}
+// switches, each with k up and k down ports (rank 0 = root rank, no up
+// ports). Switch (l, w), with w written as levels-1 base-k digits
+// w_0..w_{levels-2} (most significant first), connects to switch
+// (l+1, w') iff w and w' agree on every digit except digit l. Processor p
+// attaches to switch (levels-1, p / k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+class KaryTree {
+ public:
+  KaryTree(std::uint32_t k, std::uint32_t levels);
+
+  std::uint32_t k() const { return k_; }
+  std::uint32_t levels() const { return levels_; }
+  std::uint32_t num_processors() const { return num_procs_; }
+  std::uint32_t switches_per_level() const { return switches_per_level_; }
+  std::uint32_t num_switches() const { return levels_ * switches_per_level_; }
+
+  /// Digit i (most significant first) of a processor id (levels digits) or
+  /// switch word (levels-1 digits).
+  std::uint32_t proc_digit(std::uint32_t p, std::uint32_t i) const;
+  std::uint32_t word_digit(std::uint32_t w, std::uint32_t i) const;
+  std::uint32_t set_word_digit(std::uint32_t w, std::uint32_t i,
+                               std::uint32_t value) const;
+
+  /// Switch word attached to processor p (digits p_0..p_{levels-2}).
+  std::uint32_t switch_of_processor(std::uint32_t p) const { return p / k_; }
+
+  /// Level of the nearest common ancestors of two processors: the length
+  /// of the common most-significant digit prefix (== levels means same
+  /// edge switch; both processors hang off one switch when
+  /// nca_level >= levels - 1).
+  std::uint32_t nca_level(std::uint32_t a, std::uint32_t b) const;
+
+  /// Number of distinct shortest up/down paths between two processors:
+  /// k^{levels-1-nca} ascent choices (1 when attached to the same switch).
+  std::uint64_t path_diversity(std::uint32_t a, std::uint32_t b) const;
+
+  // --- Link-level view for the simulator. Link ids are dense. ---
+  // Up link: from switch (l, w) to (l-1, w with digit l-1 := d).
+  std::uint32_t up_link_id(std::uint32_t level, std::uint32_t word,
+                           std::uint32_t digit) const;
+  // Down link: from switch (l, w) to (l+1, w with digit l := d), or, at
+  // the edge rank, to processor word*k + d.
+  std::uint32_t down_link_id(std::uint32_t level, std::uint32_t word,
+                             std::uint32_t digit) const;
+  // Injection link: processor p into its edge switch.
+  std::uint32_t injection_link_id(std::uint32_t p) const;
+
+  std::uint32_t num_links() const { return num_links_; }
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t levels_;
+  std::uint32_t num_procs_;
+  std::uint32_t switches_per_level_;
+  std::uint32_t num_links_;
+  std::vector<std::uint32_t> pow_k_;  // k^0..k^levels
+};
+
+}  // namespace ft

@@ -1,0 +1,96 @@
+#include "layout/balanced.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+namespace {
+
+/// The Lemma 7 bandwidth bound of a set of segments: for each segment,
+/// cover it by maximal complete subtrees of the decomposition tree and sum
+/// the roots' bandwidths. All communication into a complete subtree of a
+/// decomposition tree passes the surface corresponding to its root.
+double forest_bandwidth(const DecompositionTree& tree,
+                        const std::vector<Segment>& segments) {
+  double total = 0.0;
+  for (const auto& seg : segments) {
+    const auto blocks =
+        maximal_complete_subtrees(seg.begin, seg.end, tree.depth());
+    for (const auto& blk : blocks) {
+      total += tree.bandwidth(
+          tree.subtree_heap_index(blk.height, blk.first_leaf));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+BalancedDecomposition::BalancedDecomposition(const DecompositionTree& tree) {
+  // Blackness of a leaf-line position: does it hold a processor?
+  const std::uint64_t leaves = tree.num_leaves();
+  std::vector<std::uint8_t> black(leaves, 0);
+  for (std::uint64_t i = 0; i < leaves; ++i) {
+    black[i] = tree.processor_at(i) >= 0 ? 1 : 0;
+  }
+  const auto prefix = black_prefix_sums(black);
+
+  // Store processor ids during the recursion via the tree itself.
+  build(tree, prefix, {Segment{0, leaves}}, 0);
+  for (std::uint32_t d : depth_of_) depth_ = std::max(depth_, d);
+
+  // In-order leaf collection happens inside build(); nothing further.
+  FT_CHECK(order_.size() == tree.num_processors());
+}
+
+std::int32_t BalancedDecomposition::build(
+    const DecompositionTree& tree, const std::vector<std::uint64_t>& prefix,
+    std::vector<Segment> segments, std::uint32_t depth) {
+  FT_CHECK(!segments.empty() && segments.size() <= 2);
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  depth_of_.push_back(depth);
+
+  std::uint64_t blacks = 0;
+  std::uint64_t pearls = 0;
+  for (const auto& s : segments) {
+    blacks += blacks_in(prefix, s);
+    pearls += s.length();
+  }
+  nodes_[index].segments = segments;
+  nodes_[index].num_processors = blacks;
+  nodes_[index].bandwidth_bound = forest_bandwidth(tree, segments);
+
+  if (blacks <= 1 || pearls <= 1) {
+    // Leaf of the balanced tree: record the processor (if any) in order.
+    for (const auto& s : segments) {
+      for (std::uint64_t pos = s.begin; pos < s.end; ++pos) {
+        const std::int32_t p = tree.processor_at(pos);
+        if (p >= 0) order_.push_back(static_cast<std::uint32_t>(p));
+      }
+    }
+    return index;
+  }
+
+  const PearlSplit split = split_pearls(segments, prefix);
+  FT_CHECK(split.blacks_a + split.blacks_b == blacks);
+  FT_CHECK(split.blacks_a <= (blacks + 1) / 2 &&
+           split.blacks_b <= (blacks + 1) / 2);
+  const std::int32_t l = build(tree, prefix, split.side_a, depth + 1);
+  const std::int32_t r = build(tree, prefix, split.side_b, depth + 1);
+  nodes_[index].left = l;
+  nodes_[index].right = r;
+  return index;
+}
+
+double BalancedDecomposition::width_at_depth(std::uint32_t d) const {
+  double w = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (depth_of_[i] == d) w = std::max(w, nodes_[i].bandwidth_bound);
+  }
+  return w;
+}
+
+}  // namespace ft

@@ -1,0 +1,65 @@
+// Balanced decomposition trees (Theorem 8, Corollary 9).
+//
+// The cutting-plane decomposition tree of Theorem 5 splits *space* evenly
+// but may split the processors arbitrarily. Theorem 8 rebalances it:
+// treat the decomposition tree's leaf line as a necklace whose black
+// pearls are processor-holding leaves; split with the pearl lemma
+// (layout/pearls.hpp), recursing with at most two leaf-line segments per
+// node. The bandwidth of a balanced node is bounded by the sum of the
+// bandwidths of the maximal complete subtrees covering its segments
+// (Lemma 7: at most four trees per height across two segments), which for
+// a (w, a) decomposition tree yields a (4a/(a−1) · w, a) balanced tree
+// (Corollary 9).
+//
+// The in-order leaf sequence of the balanced tree is the processor
+// identification Theorem 10 uses to map an arbitrary network's processors
+// onto fat-tree leaves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/decomposition.hpp"
+#include "layout/pearls.hpp"
+
+namespace ft {
+
+struct BalancedNode {
+  std::vector<Segment> segments;  ///< at most two leaf-line intervals
+  std::uint64_t num_processors = 0;
+  double bandwidth_bound = 0.0;  ///< Lemma 7 forest sum
+  std::int32_t left = -1;        ///< child indices, -1 at leaves
+  std::int32_t right = -1;
+};
+
+class BalancedDecomposition {
+ public:
+  /// Builds the balanced tree of a decomposition tree.
+  explicit BalancedDecomposition(const DecompositionTree& tree);
+
+  const std::vector<BalancedNode>& nodes() const { return nodes_; }
+  const BalancedNode& root() const { return nodes_[0]; }
+
+  std::uint32_t depth() const { return depth_; }
+
+  /// Max bandwidth bound over nodes at a depth (the w'_k of Theorem 8).
+  double width_at_depth(std::uint32_t d) const;
+
+  /// Processors in in-order leaf sequence: processor_order()[i] is the
+  /// network processor identified with fat-tree leaf i.
+  const std::vector<std::uint32_t>& processor_order() const {
+    return order_;
+  }
+
+ private:
+  std::int32_t build(const DecompositionTree& tree,
+                     const std::vector<std::uint64_t>& prefix,
+                     std::vector<Segment> segments, std::uint32_t depth);
+
+  std::vector<BalancedNode> nodes_;
+  std::vector<std::uint32_t> depth_of_;
+  std::vector<std::uint32_t> order_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace ft

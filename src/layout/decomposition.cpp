@@ -1,0 +1,99 @@
+#include "layout/decomposition.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+DecompositionTree::DecompositionTree(std::uint32_t depth,
+                                     std::size_t num_processors)
+    : depth_(depth), num_processors_(num_processors) {
+  FT_CHECK_MSG(depth <= 28, "decomposition tree too deep to materialize");
+  bandwidth_.assign(std::size_t{2} << depth, 0.0);
+  leaf_proc_.assign(std::size_t{1} << depth, -1);
+}
+
+double DecompositionTree::width_at_depth(std::uint32_t d) const {
+  FT_CHECK(d <= depth_);
+  double w = 0.0;
+  const std::uint64_t first = std::uint64_t{1} << d;
+  for (std::uint64_t i = first; i < 2 * first; ++i) {
+    w = std::max(w, bandwidth_[i]);
+  }
+  return w;
+}
+
+std::uint64_t DecompositionTree::subtree_heap_index(
+    std::uint32_t height, std::uint64_t first_leaf) const {
+  FT_CHECK(height <= depth_);
+  FT_CHECK(first_leaf % (std::uint64_t{1} << height) == 0);
+  const std::uint32_t d = depth_ - height;
+  return (std::uint64_t{1} << d) + (first_leaf >> height);
+}
+
+namespace {
+
+/// First pass: depth needed for every region to hold at most one
+/// processor under equal-volume axis-cycling cuts.
+std::uint32_t required_depth(const Box3& box,
+                             std::vector<std::uint32_t> procs,
+                             const std::vector<Point3>& pos,
+                             std::uint32_t depth) {
+  if (procs.size() <= 1) return depth;
+  FT_CHECK_MSG(depth < 60, "processor positions too close to separate");
+  const int axis = static_cast<int>(depth % 3);
+  const auto [left, right] = box.halve(axis);
+  const double mid = left.hi.coord(axis);
+  std::vector<std::uint32_t> lp, rp;
+  for (auto p : procs) {
+    (pos[p].coord(axis) < mid ? lp : rp).push_back(p);
+  }
+  return std::max(required_depth(left, std::move(lp), pos, depth + 1),
+                  required_depth(right, std::move(rp), pos, depth + 1));
+}
+
+void fill(DecompositionTree& tree, const Box3& box,
+          std::vector<std::uint32_t> procs, const std::vector<Point3>& pos,
+          std::uint32_t depth, std::uint64_t heap, double gamma) {
+  tree.set_bandwidth(heap, gamma * box.surface_area());
+  if (depth == tree.depth()) {
+    FT_CHECK_MSG(procs.size() <= 1, "leaf region holds several processors");
+    const std::uint64_t leaf_pos = heap - (std::uint64_t{1} << depth);
+    if (!procs.empty()) {
+      tree.set_processor_at(leaf_pos, static_cast<std::int32_t>(procs[0]));
+    }
+    return;
+  }
+  const int axis = static_cast<int>(depth % 3);
+  const auto [left, right] = box.halve(axis);
+  const double mid = left.hi.coord(axis);
+  std::vector<std::uint32_t> lp, rp;
+  for (auto p : procs) {
+    (pos[p].coord(axis) < mid ? lp : rp).push_back(p);
+  }
+  fill(tree, left, std::move(lp), pos, depth + 1, 2 * heap, gamma);
+  fill(tree, right, std::move(rp), pos, depth + 1, 2 * heap + 1, gamma);
+}
+
+}  // namespace
+
+DecompositionTree cut_plane_decomposition(const Layout3D& layout,
+                                          double gamma) {
+  const std::size_t n = layout.num_processors();
+  FT_CHECK(n >= 1);
+  for (const auto& p : layout.positions) {
+    FT_CHECK_MSG(layout.bounds.contains(p), "processor outside bounding box");
+  }
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+
+  const std::uint32_t depth =
+      required_depth(layout.bounds, all, layout.positions, 0);
+  DecompositionTree tree(depth, n);
+  fill(tree, layout.bounds, std::move(all), layout.positions, 0, 1, gamma);
+  return tree;
+}
+
+}  // namespace ft

@@ -1,0 +1,74 @@
+// Decomposition trees (Section V, Theorem 5).
+//
+// A routing network occupying a cube of volume v is recursively bisected
+// by rectilinear cutting planes (axes alternating), halving the volume at
+// each step. The information that can enter or leave a region per unit
+// time is at most γ times its surface area, so the region at depth i has
+// bandwidth O(v^{2/3} / 4^{i/3}): an (O(v^{2/3}), cuberoot(4))
+// decomposition tree.
+//
+// The tree produced here is *complete* (uniform depth D, leaf line of
+// 2^D positions, heap indexing), which is what the balancing machinery of
+// Theorem 8 (layout/balanced.hpp) consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace ft {
+
+class DecompositionTree {
+ public:
+  DecompositionTree(std::uint32_t depth, std::size_t num_processors);
+
+  std::uint32_t depth() const { return depth_; }
+  std::uint64_t num_leaves() const { return std::uint64_t{1} << depth_; }
+  std::size_t num_processors() const { return num_processors_; }
+
+  /// Heap indexing: root 1; node i has children 2i, 2i+1; depth(i) =
+  /// floor(lg i). Bandwidth of tree node i (γ × surface area of its box).
+  double bandwidth(std::uint64_t heap_index) const {
+    FT_CHECK(heap_index >= 1 && heap_index < bandwidth_.size());
+    return bandwidth_[heap_index];
+  }
+  void set_bandwidth(std::uint64_t heap_index, double b) {
+    FT_CHECK(heap_index >= 1 && heap_index < bandwidth_.size());
+    bandwidth_[heap_index] = b;
+  }
+
+  /// Maximum bandwidth over nodes at a depth: the w_i of the
+  /// [w_0, w_1, ..., w_r] decomposition tree notation.
+  double width_at_depth(std::uint32_t d) const;
+
+  /// Processor at a leaf-line position, or -1.
+  std::int32_t processor_at(std::uint64_t leaf_pos) const {
+    FT_CHECK(leaf_pos < leaf_proc_.size());
+    return leaf_proc_[leaf_pos];
+  }
+  void set_processor_at(std::uint64_t leaf_pos, std::int32_t proc) {
+    FT_CHECK(leaf_pos < leaf_proc_.size());
+    leaf_proc_[leaf_pos] = proc;
+  }
+
+  /// Heap index of the (complete) subtree of height h whose leftmost leaf
+  /// is at aligned position `first_leaf` (first_leaf % 2^h == 0).
+  std::uint64_t subtree_heap_index(std::uint32_t height,
+                                   std::uint64_t first_leaf) const;
+
+ private:
+  std::uint32_t depth_;
+  std::size_t num_processors_;
+  std::vector<double> bandwidth_;   // size 2^{D+1}
+  std::vector<std::int32_t> leaf_proc_;  // size 2^D
+};
+
+/// Builds the Theorem 5 decomposition tree of a layout by equal-volume
+/// cutting planes with axes cycling x, y, z. γ is the bits-per-area
+/// constant. The recursion continues to a uniform depth deep enough to
+/// isolate every processor (requires pairwise-distinct positions).
+DecompositionTree cut_plane_decomposition(const Layout3D& layout,
+                                          double gamma = 1.0);
+
+}  // namespace ft

@@ -1,0 +1,75 @@
+// Three-dimensional geometry primitives for the VLSI model (Section IV).
+// In this model hardware cost is physical volume; the universality
+// assumption is that at most O(a) bits per unit time can cross a closed
+// surface of area a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+struct Point3 {
+  double x = 0;
+  double y = 0;
+  double z = 0;
+
+  double coord(int axis) const {
+    FT_CHECK(axis >= 0 && axis < 3);
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+  void set_coord(int axis, double v) {
+    FT_CHECK(axis >= 0 && axis < 3);
+    (axis == 0 ? x : axis == 1 ? y : z) = v;
+  }
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+};
+
+/// An axis-aligned box [lo, hi).
+struct Box3 {
+  Point3 lo;
+  Point3 hi;
+
+  double side(int axis) const { return hi.coord(axis) - lo.coord(axis); }
+  double volume() const { return side(0) * side(1) * side(2); }
+  double surface_area() const {
+    const double a = side(0), b = side(1), c = side(2);
+    return 2.0 * (a * b + b * c + c * a);
+  }
+  bool contains(const Point3& p) const {
+    for (int axis = 0; axis < 3; ++axis) {
+      if (p.coord(axis) < lo.coord(axis) || p.coord(axis) >= hi.coord(axis)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Splits into two equal-volume halves by a plane perpendicular to
+  /// `axis` (the cutting-plane step of Theorem 5).
+  std::pair<Box3, Box3> halve(int axis) const {
+    const double mid = 0.5 * (lo.coord(axis) + hi.coord(axis));
+    Box3 a = *this;
+    Box3 b = *this;
+    a.hi.set_coord(axis, mid);
+    b.lo.set_coord(axis, mid);
+    return {a, b};
+  }
+};
+
+/// A physical layout of a routing network: processor positions inside a
+/// bounding box. Wires are accounted for by the volume of the box, not
+/// drawn individually — the decomposition-tree machinery only needs
+/// surface areas and processor positions.
+struct Layout3D {
+  Box3 bounds;
+  std::vector<Point3> positions;  // one per processor
+
+  std::size_t num_processors() const { return positions.size(); }
+  double volume() const { return bounds.volume(); }
+};
+
+}  // namespace ft

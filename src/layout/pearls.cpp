@@ -1,0 +1,168 @@
+#include "layout/pearls.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+std::vector<std::uint64_t> black_prefix_sums(
+    const std::vector<std::uint8_t>& black) {
+  std::vector<std::uint64_t> prefix(black.size() + 1, 0);
+  for (std::size_t i = 0; i < black.size(); ++i) {
+    prefix[i + 1] = prefix[i] + (black[i] ? 1 : 0);
+  }
+  return prefix;
+}
+
+namespace {
+
+/// A candidate configuration: take `len1` pearls from string 1 (prefix or
+/// suffix) and `len2 = H - len1` from string 2.
+struct Candidate {
+  std::uint64_t len1;
+  bool suffix1;
+  bool suffix2;
+};
+
+Segment take(const Segment& s, std::uint64_t len, bool suffix) {
+  if (suffix) return Segment{s.end - len, s.end};
+  return Segment{s.begin, s.begin + len};
+}
+
+Segment rest(const Segment& s, std::uint64_t len, bool suffix) {
+  if (suffix) return Segment{s.begin, s.end - len};
+  return Segment{s.begin + len, s.end};
+}
+
+}  // namespace
+
+PearlSplit split_pearls(const std::vector<Segment>& strings,
+                        const std::vector<std::uint64_t>& prefix) {
+  FT_CHECK(!strings.empty() && strings.size() <= 2);
+  const Segment s1 = strings[0];
+  const Segment s2 = strings.size() == 2 ? strings[1] : Segment{0, 0};
+  const std::uint64_t l1 = s1.length();
+  const std::uint64_t l2 = s2.length();
+  const std::uint64_t total = l1 + l2;
+  FT_CHECK(total >= 2);
+
+  const std::uint64_t blacks = blacks_in(prefix, s1) + blacks_in(prefix, s2);
+  const std::uint64_t target_lo = blacks / 2;
+  const std::uint64_t target_hi = (blacks + 1) / 2;
+
+  auto in_target = [&](std::uint64_t b) {
+    return b >= target_lo && b <= target_hi;
+  };
+  auto finish = [&](std::vector<Segment> a, std::vector<Segment> b) {
+    PearlSplit out;
+    for (const auto& s : a) {
+      if (s.length() > 0) out.side_a.push_back(s);
+    }
+    for (const auto& s : b) {
+      if (s.length() > 0) out.side_b.push_back(s);
+    }
+    for (const auto& s : out.side_a) out.blacks_a += blacks_in(prefix, s);
+    for (const auto& s : out.side_b) out.blacks_b += blacks_in(prefix, s);
+    FT_CHECK(out.blacks_a + out.blacks_b == blacks);
+    FT_CHECK(out.side_a.size() <= 2 && out.side_b.size() <= 2);
+    FT_CHECK(!out.side_a.empty() && !out.side_b.empty());
+    return out;
+  };
+
+  // One-string case: slide a window [s, s+half) along the string. Side A
+  // is one string; side B is the (at most two) leftovers. The window count
+  // moves by at most one per step and its extremes straddle half the
+  // blacks, so the target is always reachable.
+  if (strings.size() == 1 || l2 == 0) {
+    const std::uint64_t half = (total + 1) / 2;
+    for (std::uint64_t w = s1.begin; w + half <= s1.end; ++w) {
+      const Segment win{w, w + half};
+      if (in_target(blacks_in(prefix, win))) {
+        return finish({win},
+                      {Segment{s1.begin, w}, Segment{w + half, s1.end}});
+      }
+    }
+    FT_CHECK_MSG(false, "pearl window sweep missed the half-count target");
+  }
+
+  // Two-string case. The searched configuration space is:
+  //   * piece families: a prefix-or-suffix of each string, sizes summing
+  //     to H (four families, closed under complement across the two H
+  //     sizes);
+  //   * wrap families: a wrap-around window of one string alone (the
+  //     bridge connecting the prefix- and suffix-of-s2 components).
+  // Every side of every configuration has at most two strings, counts move
+  // by at most one per step, and the union is connected and
+  // complement-closed, so a floor/ceil-half configuration always exists
+  // (exhaustively verified against brute force in tests).
+  const std::uint64_t half_sizes[2] = {(total + 1) / 2, total / 2};
+  for (int hs = 0; hs < (total % 2 ? 2 : 1); ++hs) {
+    const std::uint64_t H = half_sizes[hs];
+    if (H == 0 || H == total) continue;
+
+    // Piece families.
+    const std::uint64_t a_lo = l2 >= H ? 0 : H - l2;
+    const std::uint64_t a_hi = std::min(l1, H);
+    for (int fam = 0; fam < 4; ++fam) {
+      const bool suf1 = (fam & 1) != 0;
+      const bool suf2 = (fam & 2) != 0;
+      for (std::uint64_t a = a_lo; a <= a_hi; ++a) {
+        const Segment p1 = take(s1, a, suf1);
+        const Segment p2 = take(s2, H - a, suf2);
+        if (in_target(blacks_in(prefix, p1) + blacks_in(prefix, p2))) {
+          return finish({p1, p2},
+                        {rest(s1, a, suf1), rest(s2, H - a, suf2)});
+        }
+      }
+    }
+
+    // Wrap family of s2: A = suffix_u(s2) + prefix_{H-u}(s2);
+    // B = whole s1 + middle of s2.
+    if (H <= l2) {
+      for (std::uint64_t u = 0; u <= H; ++u) {
+        const Segment tail{s2.end - u, s2.end};
+        const Segment head{s2.begin, s2.begin + (H - u)};
+        if (in_target(blacks_in(prefix, tail) + blacks_in(prefix, head))) {
+          return finish({head, tail}, {s1, Segment{head.end, tail.begin}});
+        }
+      }
+    }
+    // Wrap family of s1, symmetric.
+    if (H <= l1) {
+      for (std::uint64_t u = 0; u <= H; ++u) {
+        const Segment tail{s1.end - u, s1.end};
+        const Segment head{s1.begin, s1.begin + (H - u)};
+        if (in_target(blacks_in(prefix, tail) + blacks_in(prefix, head))) {
+          return finish({head, tail}, {s2, Segment{head.end, tail.begin}});
+        }
+      }
+    }
+  }
+  FT_CHECK_MSG(false, "pearl split missed the half-count target");
+  return {};
+}
+
+std::vector<SubtreeBlock> maximal_complete_subtrees(std::uint64_t begin,
+                                                    std::uint64_t end,
+                                                    std::uint32_t depth) {
+  FT_CHECK(begin <= end);
+  FT_CHECK(end <= (std::uint64_t{1} << depth));
+  std::vector<SubtreeBlock> blocks;
+  std::uint64_t pos = begin;
+  while (pos < end) {
+    // Largest aligned power-of-two block starting at pos that fits.
+    std::uint64_t align = pos == 0 ? (std::uint64_t{1} << depth)
+                                   : (pos & (~pos + 1));  // lowest set bit
+    std::uint64_t size = std::min(align, end - pos);
+    // Round size down to a power of two.
+    size = std::uint64_t{1} << floor_log2(size);
+    blocks.push_back(SubtreeBlock{floor_log2(size), pos});
+    pos += size;
+  }
+  return blocks;
+}
+
+}  // namespace ft

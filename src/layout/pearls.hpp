@@ -1,0 +1,68 @@
+// The combinatorial lemmas behind balanced decomposition trees.
+//
+// Lemma 6 (pearl necklace): two strings of black and white pearls can be
+// divided, with at most two cuts, into two sets — each of at most two
+// strings — holding half the pearls of each color (to within one when a
+// color count is odd).
+//
+// Lemma 7 (subtree forest): any string of k consecutive leaves of a
+// complete binary tree is covered by a forest of maximal complete
+// subtrees with at most two trees per height and maximum height lg k.
+//
+// Strings here are half-open intervals [begin, end) on a global "leaf
+// line"; blackness of a position is supplied by a prefix-sum array so
+// range counts cost O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+/// An interval of consecutive leaf-line positions.
+struct Segment {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  std::uint64_t length() const { return end - begin; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// prefix[i] = number of black positions < i. Built once per leaf line.
+std::vector<std::uint64_t> black_prefix_sums(
+    const std::vector<std::uint8_t>& black);
+
+inline std::uint64_t blacks_in(const std::vector<std::uint64_t>& prefix,
+                               const Segment& s) {
+  return prefix[s.end] - prefix[s.begin];
+}
+
+/// Lemma 6 split result: each side has at most two segments; black pearls
+/// split exactly in half (within one), total pearls likewise.
+struct PearlSplit {
+  std::vector<Segment> side_a;
+  std::vector<Segment> side_b;
+  std::uint64_t blacks_a = 0;
+  std::uint64_t blacks_b = 0;
+};
+
+/// Splits one or two pearl strings. The search sweeps the complement-
+/// closed family of {prefix-or-suffix of string 1} ∪ {prefix-or-suffix of
+/// string 2} configurations, within which the black count moves by at
+/// most one per step, so a half-count configuration always exists.
+PearlSplit split_pearls(const std::vector<Segment>& strings,
+                        const std::vector<std::uint64_t>& prefix);
+
+/// Lemma 7: the maximal complete subtrees covering leaves [begin, end) of
+/// a complete binary tree with 2^depth leaves. Returned as (height,
+/// first_leaf) pairs, at most two per height, heights at most
+/// lg(end - begin).
+struct SubtreeBlock {
+  std::uint32_t height;
+  std::uint64_t first_leaf;
+};
+std::vector<SubtreeBlock> maximal_complete_subtrees(std::uint64_t begin,
+                                                    std::uint64_t end,
+                                                    std::uint32_t depth);
+
+}  // namespace ft

@@ -1,0 +1,70 @@
+// Hardware accounting in the three-dimensional VLSI model (Section IV).
+//
+// Lemma 3: m components and external wires can be wired together in a box
+// with side lengths O(h·sqrt(m)), O(h·sqrt(m)), O(sqrt(m)/h) for any
+// 1 <= h <= sqrt(m) — volume O(h · m^{3/2}), minimized at the cube aspect
+// h = 1.
+//
+// Theorem 4: a universal fat-tree on n processors with root capacity w
+// (n^{2/3} <= w <= n) takes O(n · lg(w³/n²)) components and volume
+// v = O(w^{3/2} · lg^{3/2}(n/w)).
+//
+// Inversely, a *universal fat-tree of volume v* has root capacity
+// w = Θ(v^{2/3} / lg(n / v^{2/3})) — the quantity Theorem 10's simulation
+// bound rests on.
+//
+// All volumes are in "unit wire-volume" units with constant factor 1; the
+// experiments compare shapes and ratios, never absolute cubic microns.
+#pragma once
+
+#include <cstdint>
+
+#include "core/capacity.hpp"
+#include "core/topology.hpp"
+
+namespace ft {
+
+/// Side lengths of the Lemma 3 wiring box for m components at aspect h.
+struct BoxDims {
+  double a;
+  double b;
+  double c;
+  double volume() const { return a * b * c; }
+};
+BoxDims node_box(std::uint64_t m, double h = 1.0);
+
+/// Number of switching components in one fat-tree node with the given
+/// incident channel widths: Θ(m) in the m = parent + 2·child incident
+/// wires (selectors plus constant-depth concentrator stages).
+std::uint64_t node_components(std::uint64_t parent_cap,
+                              std::uint64_t child_cap);
+
+/// Total component count of a fat-tree with the given capacities
+/// (Theorem 4's O(n·lg(w³/n²)) when the profile is universal).
+std::uint64_t total_components(const FatTreeTopology& topo,
+                               const CapacityProfile& caps);
+
+/// Theorem 4 volume of a universal fat-tree on n processors with root
+/// capacity w: (w · (lg(n/w) + 2))^{3/2}.
+double universal_fat_tree_volume(std::uint64_t n, std::uint64_t w);
+
+/// The inverse map: root capacity of the universal fat-tree of volume v on
+/// n processors, w = v^{2/3} / (max(0, lg(n / v^{2/3})) + 2),
+/// clamped to [1, n].
+std::uint64_t root_capacity_for_volume(std::uint64_t n, double v);
+
+/// Constructive volume estimate: sums the Lemma 3 node boxes over the
+/// whole tree with a divide-and-conquer packing factor. Used to
+/// cross-check the closed form in experiment E7.
+double constructive_volume(const FatTreeTopology& topo,
+                           const CapacityProfile& caps);
+
+/// Reference volumes of competitor networks on n processors (Section I
+/// and VI): the hypercube's Θ(n^{3/2}) against the fat-tree's ability to
+/// scale down.
+double hypercube_volume(std::uint64_t n);
+double mesh2d_volume(std::uint64_t n);
+double mesh3d_volume(std::uint64_t n);
+double binary_tree_volume(std::uint64_t n);
+
+}  // namespace ft

@@ -1,0 +1,144 @@
+#include "nets/benes.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+namespace {
+
+/// Recursive looping: fills settings for a size-`n` subnetwork occupying
+/// global stages [stage_lo, stage_hi] and switch rows
+/// [row_lo, row_lo + n/2). `perm` is the local permutation.
+void solve(BenesSettings& settings, const std::vector<std::uint32_t>& perm,
+           std::uint32_t stage_lo, std::uint32_t stage_hi,
+           std::uint32_t row_lo) {
+  const auto n = static_cast<std::uint32_t>(perm.size());
+  FT_CHECK(n >= 2 && is_pow2(n));
+  if (n == 2) {
+    FT_CHECK(stage_lo == stage_hi);
+    settings.crossed[stage_lo][row_lo] = perm[0] == 1 ? 1 : 0;
+    return;
+  }
+
+  std::vector<std::uint32_t> inverse(n);
+  for (std::uint32_t i = 0; i < n; ++i) inverse[perm[i]] = i;
+
+  // 2-colour the inputs: partners through an input switch (x, x^1) must
+  // use different subnetworks, and so must the sources of partners through
+  // an output switch (perm^-1(y), perm^-1(y^1)). The constraint graph is a
+  // disjoint union of even cycles, so greedy loop-propagation succeeds.
+  constexpr std::uint8_t kUnset = 2;
+  std::vector<std::uint8_t> colour(n, kUnset);
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (colour[start] != kUnset) continue;
+    std::uint32_t x = start;
+    std::uint8_t c = 0;
+    for (;;) {
+      colour[x] = c;
+      // Output-switch constraint: the input feeding the partner output
+      // takes the other colour...
+      const std::uint32_t sibling_src = inverse[perm[x] ^ 1u];
+      if (colour[sibling_src] == kUnset) colour[sibling_src] = c ^ 1u;
+      // ...and the input-switch partner of that source loops onward.
+      const std::uint32_t next = sibling_src ^ 1u;
+      if (colour[next] != kUnset) break;
+      x = next;
+      c = colour[sibling_src] ^ 1u;
+    }
+  }
+
+  // First and last stage settings, plus the two half permutations.
+  const std::uint32_t half = n / 2;
+  std::vector<std::uint32_t> upper(half), lower(half);
+  for (std::uint32_t sw = 0; sw < half; ++sw) {
+    // Input switch sw handles inputs 2sw, 2sw+1; its top output feeds the
+    // upper subnetwork's input sw. Crossed iff the even input goes lower.
+    settings.crossed[stage_lo][row_lo + sw] = colour[2 * sw] == 1 ? 1 : 0;
+  }
+  for (std::uint32_t x = 0; x < n; ++x) {
+    const std::uint32_t y = perm[x];
+    if (colour[x] == 0) {
+      upper[x / 2] = y / 2;
+    } else {
+      lower[x / 2] = y / 2;
+    }
+  }
+  for (std::uint32_t sw = 0; sw < half; ++sw) {
+    // Output switch sw emits outputs 2sw, 2sw+1; its top input comes from
+    // the upper subnetwork. Crossed iff the even output arrives from the
+    // lower subnetwork.
+    settings.crossed[stage_hi][row_lo + sw] =
+        colour[inverse[2 * sw]] == 1 ? 1 : 0;
+  }
+
+  solve(settings, upper, stage_lo + 1, stage_hi - 1, row_lo);
+  solve(settings, lower, stage_lo + 1, stage_hi - 1, row_lo + half / 2);
+}
+
+/// Recursive application mirroring solve()'s embedding. `in` holds the
+/// values entering the subnetwork; returns the values at its outputs.
+std::vector<std::uint32_t> apply(const BenesSettings& settings,
+                                 const std::vector<std::uint32_t>& in,
+                                 std::uint32_t stage_lo,
+                                 std::uint32_t stage_hi,
+                                 std::uint32_t row_lo) {
+  const auto n = static_cast<std::uint32_t>(in.size());
+  if (n == 2) {
+    if (settings.crossed[stage_lo][row_lo]) return {in[1], in[0]};
+    return in;
+  }
+  const std::uint32_t half = n / 2;
+  std::vector<std::uint32_t> up_in(half), low_in(half);
+  for (std::uint32_t sw = 0; sw < half; ++sw) {
+    const bool crossed = settings.crossed[stage_lo][row_lo + sw] != 0;
+    up_in[sw] = crossed ? in[2 * sw + 1] : in[2 * sw];
+    low_in[sw] = crossed ? in[2 * sw] : in[2 * sw + 1];
+  }
+  const auto up_out =
+      apply(settings, up_in, stage_lo + 1, stage_hi - 1, row_lo);
+  const auto low_out =
+      apply(settings, low_in, stage_lo + 1, stage_hi - 1, row_lo + half / 2);
+  std::vector<std::uint32_t> out(n);
+  for (std::uint32_t sw = 0; sw < half; ++sw) {
+    const bool crossed = settings.crossed[stage_hi][row_lo + sw] != 0;
+    out[2 * sw] = crossed ? low_out[sw] : up_out[sw];
+    out[2 * sw + 1] = crossed ? up_out[sw] : low_out[sw];
+  }
+  return out;
+}
+
+}  // namespace
+
+BenesSettings benes_route_permutation(const std::vector<std::uint32_t>& perm) {
+  const auto n = static_cast<std::uint32_t>(perm.size());
+  FT_CHECK_MSG(n >= 2 && is_pow2(n), "permutation size must be a power of 2");
+  std::vector<std::uint8_t> seen(n, 0);
+  for (auto v : perm) {
+    FT_CHECK_MSG(v < n && !seen[v], "input is not a permutation");
+    seen[v] = 1;
+  }
+  BenesSettings settings;
+  settings.k = floor_log2(n);
+  settings.crossed.assign(2 * settings.k - 1,
+                          std::vector<std::uint8_t>(n / 2, 0));
+  solve(settings, perm, 0, settings.num_stages() - 1, 0);
+  return settings;
+}
+
+std::vector<std::uint32_t> benes_apply(const BenesSettings& settings) {
+  const std::uint32_t n = settings.num_terminals();
+  std::vector<std::uint32_t> identity(n);
+  for (std::uint32_t i = 0; i < n; ++i) identity[i] = i;
+  // Feeding input indices through the network yields, at output position
+  // y, the input that reaches it; invert to the realized permutation.
+  const auto at_outputs =
+      apply(settings, identity, 0, settings.num_stages() - 1, 0);
+  std::vector<std::uint32_t> realized(n);
+  for (std::uint32_t y = 0; y < n; ++y) realized[at_outputs[y]] = y;
+  return realized;
+}
+
+}  // namespace ft

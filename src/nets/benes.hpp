@@ -1,0 +1,34 @@
+// The Beneš rearrangeable permutation network and its classical looping
+// route-setting algorithm — the off-line permutation-routing baseline the
+// paper compares high-volume universal fat-trees against in Section VI
+// ("Up to constant factors, this is the best possible bound... for
+// instance, by Beneš networks").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+/// Switch settings for a Beneš network on n = 2^k terminals: 2k-1 stages
+/// of n/2 two-by-two switches; crossed[stage][switch] says whether the
+/// switch exchanges its inputs.
+struct BenesSettings {
+  std::uint32_t k = 0;
+  std::vector<std::vector<std::uint8_t>> crossed;
+
+  std::uint32_t num_terminals() const { return 1u << k; }
+  std::uint32_t num_stages() const { return 2 * k - 1; }
+};
+
+/// The looping algorithm: computes settings realizing the permutation
+/// (perm[i] is the output reached from input i). perm must be a
+/// permutation of 0..n-1 with n a power of two >= 2.
+BenesSettings benes_route_permutation(const std::vector<std::uint32_t>& perm);
+
+/// Applies settings: the permutation the configured network realizes.
+/// benes_route_permutation followed by benes_apply is the identity map on
+/// permutations (property-tested).
+std::vector<std::uint32_t> benes_apply(const BenesSettings& settings);
+
+}  // namespace ft

@@ -1,0 +1,191 @@
+#include "nets/builders.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+Network build_hypercube(std::uint32_t dim) {
+  FT_CHECK(dim >= 1 && dim <= 24);
+  const std::uint32_t n = 1u << dim;
+  Network net(n, "hypercube");
+  for (std::uint32_t p = 0; p < n; ++p) {
+    for (std::uint32_t d = 0; d < dim; ++d) {
+      const std::uint32_t q = p ^ (1u << d);
+      if (p < q) net.add_bidi(p, q);
+    }
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = p;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_mesh2d(std::uint32_t rows, std::uint32_t cols) {
+  FT_CHECK(rows >= 1 && cols >= 1);
+  const std::uint32_t n = rows * cols;
+  Network net(n, "mesh2d");
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) net.add_bidi(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) net.add_bidi(id(r, c), id(r + 1, c));
+    }
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = p;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_torus2d(std::uint32_t rows, std::uint32_t cols) {
+  FT_CHECK(rows >= 3 && cols >= 3);
+  const std::uint32_t n = rows * cols;
+  Network net(n, "torus2d");
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      net.add_bidi(id(r, c), id(r, (c + 1) % cols));
+      net.add_bidi(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = p;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_mesh3d(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  FT_CHECK(x >= 1 && y >= 1 && z >= 1);
+  const std::uint32_t n = x * y * z;
+  Network net(n, "mesh3d");
+  auto id = [x, y](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+    return (k * y + j) * x + i;
+  };
+  for (std::uint32_t k = 0; k < z; ++k) {
+    for (std::uint32_t j = 0; j < y; ++j) {
+      for (std::uint32_t i = 0; i < x; ++i) {
+        if (i + 1 < x) net.add_bidi(id(i, j, k), id(i + 1, j, k));
+        if (j + 1 < y) net.add_bidi(id(i, j, k), id(i, j + 1, k));
+        if (k + 1 < z) net.add_bidi(id(i, j, k), id(i, j, k + 1));
+      }
+    }
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = p;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_shuffle_exchange(std::uint32_t dim) {
+  FT_CHECK(dim >= 2 && dim <= 24);
+  const std::uint32_t n = 1u << dim;
+  Network net(n, "shuffle-exchange");
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const std::uint32_t ex = p ^ 1u;
+    if (p < ex) net.add_bidi(p, ex);
+    const std::uint32_t sh = ((p << 1) | (p >> (dim - 1))) & (n - 1);
+    if (sh != p) net.add_link(p, sh);
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = p;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_butterfly(std::uint32_t k) {
+  FT_CHECK(k >= 1 && k <= 20);
+  const std::uint32_t rows = 1u << k;
+  const std::uint32_t n = (k + 1) * rows;
+  Network net(n, "butterfly");
+  auto id = [rows](std::uint32_t stage, std::uint32_t row) {
+    return stage * rows + row;
+  };
+  for (std::uint32_t s = 0; s < k; ++s) {
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      net.add_bidi(id(s, r), id(s + 1, r));                   // straight
+      net.add_bidi(id(s, r), id(s + 1, r ^ (1u << s)));       // cross
+    }
+  }
+  std::vector<std::uint32_t> procs(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) procs[r] = id(0, r);
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_binary_tree(std::uint32_t depth) {
+  FT_CHECK(depth >= 1 && depth <= 24);
+  const std::uint32_t n = 1u << depth;
+  const std::uint32_t nodes = 2 * n - 1;  // heap ids 1..2n-1 -> 0..2n-2
+  Network net(nodes, "binary-tree");
+  for (std::uint32_t v = 2; v <= nodes; ++v) {
+    net.add_bidi(v - 1, v / 2 - 1);
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = n + p - 1;
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_benes(std::uint32_t k) {
+  FT_CHECK(k >= 1 && k <= 16);
+  const std::uint32_t rows = 1u << k;
+  const std::uint32_t stages = 2 * k + 1;  // wire stages 0..2k
+  Network net(stages * rows, "benes");
+  auto id = [rows](std::uint32_t stage, std::uint32_t row) {
+    return stage * rows + row;
+  };
+  // First k wire-stage transitions mirror a butterfly from high bit down,
+  // the last k mirror it back up.
+  for (std::uint32_t s = 0; s < 2 * k; ++s) {
+    const std::uint32_t bit = s < k ? (k - 1 - s) : (s - k);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      net.add_bidi(id(s, r), id(s + 1, r));
+      net.add_bidi(id(s, r), id(s + 1, r ^ (1u << bit)));
+    }
+  }
+  std::vector<std::uint32_t> procs(rows);
+  for (std::uint32_t r = 0; r < rows; ++r) procs[r] = id(0, r);
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+Network build_tree_of_meshes(std::uint32_t depth) {
+  FT_CHECK(depth >= 1 && depth <= 16);
+  const std::uint32_t n = 1u << depth;
+  // Tree node v (heap id, 1-based) at level l has width(v) = n / 2^l
+  // switches. Switch (v, j) is a graph node; processors attach below the
+  // leaf arrays (width 1), i.e. the leaf switch itself hosts a processor.
+  std::vector<std::uint32_t> base(2 * n, 0);  // first graph-node id per v
+  std::uint32_t total = 0;
+  auto width = [&](std::uint32_t v) {
+    const std::uint32_t level = floor_log2(v);
+    return n >> level;
+  };
+  for (std::uint32_t v = 1; v < 2 * n; ++v) {
+    base[v] = total;
+    total += width(v);
+  }
+  Network net(total, "tree-of-meshes");
+  for (std::uint32_t v = 1; v < 2 * n; ++v) {
+    const std::uint32_t wv = width(v);
+    // The array itself: a path of wv switches.
+    for (std::uint32_t j = 0; j + 1 < wv; ++j) {
+      net.add_bidi(base[v] + j, base[v] + j + 1);
+    }
+    if (v >= n) continue;  // leaves have no children
+    // Parent-child trunks: the left child's wv/2 switches pair with the
+    // first half of v's array, the right child's with the second half.
+    const std::uint32_t l = 2 * v, r = 2 * v + 1;
+    for (std::uint32_t j = 0; j < wv / 2; ++j) {
+      net.add_bidi(base[v] + j, base[l] + j);
+      net.add_bidi(base[v] + wv / 2 + j, base[r] + j);
+    }
+  }
+  std::vector<std::uint32_t> procs(n);
+  for (std::uint32_t p = 0; p < n; ++p) procs[p] = base[n + p];
+  net.set_processor_nodes(std::move(procs));
+  return net;
+}
+
+}  // namespace ft

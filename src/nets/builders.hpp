@@ -1,0 +1,50 @@
+// Builders for the classical networks the paper discusses: the Boolean
+// hypercube and perfect-shuffle "ultracomputer" networks (Schwartz/Stone),
+// two- and three-dimensional meshes and tori, the butterfly, the simple
+// binary tree, and the Beneš rearrangeable permutation network.
+#pragma once
+
+#include <cstdint>
+
+#include "nets/network.hpp"
+
+namespace ft {
+
+/// Boolean hypercube on n = 2^dim processors; one bidirectional link per
+/// dimension per node.
+Network build_hypercube(std::uint32_t dim);
+
+/// rows x cols mesh (4-neighbour); processors at every node.
+Network build_mesh2d(std::uint32_t rows, std::uint32_t cols);
+
+/// 2-D torus (wrap-around mesh).
+Network build_torus2d(std::uint32_t rows, std::uint32_t cols);
+
+/// x * y * z mesh (6-neighbour).
+Network build_mesh3d(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Perfect-shuffle network: exchange links (p <-> p^1) and shuffle links
+/// (p -> rotate-left(p)).
+Network build_shuffle_exchange(std::uint32_t dim);
+
+/// k-stage butterfly with 2^k rows: processors attached to stage-0 nodes;
+/// messages re-enter stage 0 via wrap links from stage k.
+Network build_butterfly(std::uint32_t k);
+
+/// Complete binary tree with n = 2^depth leaf processors and unit-capacity
+/// links (the non-fat tree the paper contrasts with).
+Network build_binary_tree(std::uint32_t depth);
+
+/// Beneš network on n = 2^k terminals: back-to-back butterflies with
+/// 2k - 1 switch stages. Processors are the n inputs (and outputs).
+Network build_benes(std::uint32_t k);
+
+/// Leighton's tree of meshes — the graph the paper says fat-trees
+/// "resemble, and are based on". A complete binary tree whose node at
+/// level l is expanded into a linear array of width n/2^l switches; the
+/// arrays of a parent and a child are joined by width-of-child parallel
+/// links. Processors sit at the n leaves. The parallel trunks are
+/// exactly the fattened channels of Fig. 1.
+Network build_tree_of_meshes(std::uint32_t depth);
+
+}  // namespace ft

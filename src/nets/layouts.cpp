@@ -1,0 +1,106 @@
+#include "nets/layouts.hpp"
+
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+Layout3D spread_layout(std::uint32_t n, std::uint32_t sx, std::uint32_t sy,
+                       std::uint32_t sz) {
+  FT_CHECK(n >= 1);
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(sx) * sy * sz;
+  FT_CHECK_MSG(cells >= n, "box too small for processor count");
+  Layout3D layout;
+  layout.bounds = Box3{Point3{0, 0, 0},
+                       Point3{static_cast<double>(sx),
+                              static_cast<double>(sy),
+                              static_cast<double>(sz)}};
+  layout.positions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Evenly spaced slot in [0, cells).
+    const std::uint64_t slot = (static_cast<std::uint64_t>(i) * cells) / n;
+    const std::uint32_t x = static_cast<std::uint32_t>(slot % sx);
+    const std::uint32_t y = static_cast<std::uint32_t>((slot / sx) % sy);
+    const std::uint32_t z = static_cast<std::uint32_t>(slot / (static_cast<std::uint64_t>(sx) * sy));
+    layout.positions.push_back(
+        Point3{x + 0.5, y + 0.5, z + 0.5});
+  }
+  return layout;
+}
+
+Layout3D layout_mesh2d(std::uint32_t rows, std::uint32_t cols) {
+  Layout3D layout;
+  layout.bounds = Box3{Point3{0, 0, 0},
+                       Point3{static_cast<double>(cols),
+                              static_cast<double>(rows), 1.0}};
+  layout.positions.reserve(static_cast<std::size_t>(rows) * cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      layout.positions.push_back(Point3{c + 0.5, r + 0.5, 0.5});
+    }
+  }
+  return layout;
+}
+
+Layout3D layout_mesh3d(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  Layout3D layout;
+  layout.bounds = Box3{Point3{0, 0, 0},
+                       Point3{static_cast<double>(x), static_cast<double>(y),
+                              static_cast<double>(z)}};
+  layout.positions.reserve(static_cast<std::size_t>(x) * y * z);
+  for (std::uint32_t k = 0; k < z; ++k) {
+    for (std::uint32_t j = 0; j < y; ++j) {
+      for (std::uint32_t i = 0; i < x; ++i) {
+        layout.positions.push_back(Point3{i + 0.5, j + 0.5, k + 0.5});
+      }
+    }
+  }
+  return layout;
+}
+
+Layout3D layout_binary_tree(std::uint32_t n) {
+  // Trees lay out in linear volume; a flat sqrt(2n) x sqrt(2n) slab.
+  const auto side = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(2.0 * static_cast<double>(n))));
+  return spread_layout(n, side, side, 1);
+}
+
+namespace {
+
+/// A box of volume ~n^{3/2} with near-equal integer sides.
+Layout3D volume_n32_layout(std::uint32_t n) {
+  FT_CHECK(is_pow2(n));
+  const std::uint32_t lg = floor_log2(n);
+  const std::uint32_t sx = 1u << ((lg + 1) / 2);
+  const std::uint32_t sy = 1u << (lg / 2);
+  const double target = std::pow(static_cast<double>(n), 1.5);
+  const auto sz = static_cast<std::uint32_t>(std::max(
+      1.0, std::round(target / (static_cast<double>(sx) * sy))));
+  return spread_layout(n, sx, sy, sz);
+}
+
+}  // namespace
+
+Layout3D layout_hypercube(std::uint32_t n) { return volume_n32_layout(n); }
+
+Layout3D layout_butterfly(std::uint32_t n) { return volume_n32_layout(n); }
+
+Layout3D layout_shuffle_exchange(std::uint32_t n) {
+  return volume_n32_layout(n);
+}
+
+Layout3D layout_tree_of_meshes(std::uint32_t n) {
+  // The tree of meshes lays out in Θ(n lg n) area (Leighton); a flat slab
+  // sized to hold all Θ(n lg n) switches.
+  FT_CHECK(is_pow2(n));
+  const std::uint32_t lg = floor_log2(n);
+  const double area = static_cast<double>(n) * (lg + 1);
+  const auto side =
+      static_cast<std::uint32_t>(std::ceil(std::sqrt(area)));
+  return spread_layout(n, side, side, 1);
+}
+
+}  // namespace ft

@@ -1,0 +1,31 @@
+// Physical 3-D layouts of the competitor networks, at their
+// asymptotically required volumes (Sections I and VI): hypercubes,
+// butterflies and Beneš networks need Θ(n^{3/2}) volume (bisection n/2
+// forces cross-section Ω(n)), while meshes and trees fit in Θ(n).
+// Processor positions are spread on an integer lattice inside the
+// bounding box; the decomposition-tree machinery needs only the box and
+// distinct positions.
+#pragma once
+
+#include <cstdint>
+
+#include "layout/geometry.hpp"
+#include "nets/network.hpp"
+
+namespace ft {
+
+/// Spreads n processors evenly over the lattice cells of a box with the
+/// given integer side lengths (sx*sy*sz >= n required).
+Layout3D spread_layout(std::uint32_t n, std::uint32_t sx, std::uint32_t sy,
+                       std::uint32_t sz);
+
+/// Layout in the network's natural volume; `n` is the processor count.
+Layout3D layout_mesh2d(std::uint32_t rows, std::uint32_t cols);
+Layout3D layout_mesh3d(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+Layout3D layout_binary_tree(std::uint32_t n);
+Layout3D layout_hypercube(std::uint32_t n);          // Θ(n^{3/2})
+Layout3D layout_butterfly(std::uint32_t n);          // Θ(n^{3/2})
+Layout3D layout_shuffle_exchange(std::uint32_t n);   // Θ(n^{3/2})
+Layout3D layout_tree_of_meshes(std::uint32_t n);     // Θ(n lg n) flat
+
+}  // namespace ft

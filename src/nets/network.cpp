@@ -1,0 +1,15 @@
+#include "nets/network.hpp"
+
+#include <algorithm>
+
+namespace ft {
+
+std::uint32_t Network::max_degree() const {
+  std::uint32_t d = 0;
+  for (const auto& out : out_links_) {
+    d = std::max(d, static_cast<std::uint32_t>(out.size()));
+  }
+  return d;
+}
+
+}  // namespace ft

@@ -1,0 +1,87 @@
+// A generic link-capacitated routing network: the competitor substrate for
+// the universality experiments (Theorem 10) and for the baselines the
+// paper names (hypercube/shuffle ultracomputers, meshes, simple trees,
+// Beneš permutation networks).
+//
+// Nodes are switches and/or processors; processors are a designated
+// subset (for direct networks every node hosts a processor, for indirect
+// networks such as the butterfly the processors sit at the edge stages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+struct NetLink {
+  std::uint32_t from;
+  std::uint32_t to;
+  std::uint32_t capacity;  ///< messages per round
+};
+
+class Network {
+ public:
+  explicit Network(std::uint32_t num_nodes, std::string name = "net")
+      : name_(std::move(name)), out_links_(num_nodes) {}
+
+  const std::string& name() const { return name_; }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(out_links_.size());
+  }
+  std::uint32_t num_links() const {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+
+  std::uint32_t add_link(std::uint32_t from, std::uint32_t to,
+                         std::uint32_t capacity = 1) {
+    FT_CHECK(from < num_nodes() && to < num_nodes() && from != to);
+    const auto id = static_cast<std::uint32_t>(links_.size());
+    links_.push_back(NetLink{from, to, capacity});
+    out_links_[from].push_back(id);
+    return id;
+  }
+
+  /// Adds links in both directions.
+  void add_bidi(std::uint32_t a, std::uint32_t b, std::uint32_t capacity = 1) {
+    add_link(a, b, capacity);
+    add_link(b, a, capacity);
+  }
+
+  const NetLink& link(std::uint32_t id) const {
+    FT_CHECK(id < links_.size());
+    return links_[id];
+  }
+  const std::vector<std::uint32_t>& out_links(std::uint32_t node) const {
+    FT_CHECK(node < num_nodes());
+    return out_links_[node];
+  }
+
+  /// Processor placement: processor p lives at node proc_nodes()[p].
+  void set_processor_nodes(std::vector<std::uint32_t> nodes) {
+    for (auto v : nodes) FT_CHECK(v < num_nodes());
+    proc_nodes_ = std::move(nodes);
+  }
+  std::uint32_t num_processors() const {
+    return static_cast<std::uint32_t>(proc_nodes_.size());
+  }
+  std::uint32_t node_of_processor(std::uint32_t p) const {
+    FT_CHECK(p < proc_nodes_.size());
+    return proc_nodes_[p];
+  }
+
+  /// Maximum out-degree over nodes (the constant-degree assumption of
+  /// Theorem 10's second bound).
+  std::uint32_t max_degree() const;
+
+ private:
+  std::string name_;
+  std::vector<NetLink> links_;
+  std::vector<std::vector<std::uint32_t>> out_links_;
+  std::vector<std::uint32_t> proc_nodes_;
+};
+
+}  // namespace ft

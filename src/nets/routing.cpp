@@ -1,0 +1,129 @@
+#include "nets/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+
+/// BFS parents from one source: parent_link[v] = link entering v.
+std::vector<std::uint32_t> bfs_parents(const Network& net,
+                                       std::uint32_t source) {
+  std::vector<std::uint32_t> parent_link(net.num_nodes(), kUnvisited);
+  std::vector<std::uint8_t> seen(net.num_nodes(), 0);
+  std::queue<std::uint32_t> q;
+  seen[source] = 1;
+  q.push(source);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint32_t lid : net.out_links(u)) {
+      const std::uint32_t v = net.link(lid).to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        parent_link[v] = lid;
+        q.push(v);
+      }
+    }
+  }
+  return parent_link;
+}
+
+Route extract_route(const Network& net,
+                    const std::vector<std::uint32_t>& parent_link,
+                    std::uint32_t from, std::uint32_t to) {
+  Route rev;
+  std::uint32_t cur = to;
+  while (cur != from) {
+    const std::uint32_t lid = parent_link[cur];
+    FT_CHECK_MSG(lid != kUnvisited, "destination unreachable");
+    rev.push_back(lid);
+    cur = net.link(lid).from;
+  }
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::uint32_t find_link(const Network& net, std::uint32_t from,
+                        std::uint32_t to) {
+  for (std::uint32_t lid : net.out_links(from)) {
+    if (net.link(lid).to == to) return lid;
+  }
+  FT_CHECK_MSG(false, "no such link");
+  return 0;
+}
+
+}  // namespace
+
+Route bfs_route(const Network& net, std::uint32_t from_node,
+                std::uint32_t to_node) {
+  if (from_node == to_node) return {};
+  const auto parents = bfs_parents(net, from_node);
+  return extract_route(net, parents, from_node, to_node);
+}
+
+std::vector<Route> route_all_bfs(const Network& net, const MessageSet& m) {
+  std::vector<Route> routes(m.size());
+  // Group message indices by source node so each source runs one BFS.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    by_source[net.node_of_processor(m[i].src)].push_back(i);
+  }
+  for (const auto& [src_node, idxs] : by_source) {
+    const auto parents = bfs_parents(net, src_node);
+    for (std::size_t i : idxs) {
+      const std::uint32_t dst_node = net.node_of_processor(m[i].dst);
+      if (dst_node != src_node) {
+        routes[i] = extract_route(net, parents, src_node, dst_node);
+      }
+    }
+  }
+  return routes;
+}
+
+Route ecube_route(const Network& net, std::uint32_t dim, std::uint32_t from,
+                  std::uint32_t to) {
+  Route route;
+  std::uint32_t cur = from;
+  for (std::uint32_t d = 0; d < dim; ++d) {
+    const std::uint32_t bit = 1u << d;
+    if ((cur ^ to) & bit) {
+      const std::uint32_t next = cur ^ bit;
+      route.push_back(find_link(net, cur, next));
+      cur = next;
+    }
+  }
+  FT_CHECK(cur == to);
+  return route;
+}
+
+Route xy_route(const Network& net, std::uint32_t rows, std::uint32_t cols,
+               std::uint32_t from, std::uint32_t to) {
+  (void)rows;
+  Route route;
+  std::uint32_t r = from / cols, c = from % cols;
+  const std::uint32_t tr = to / cols, tc = to % cols;
+  auto id = [cols](std::uint32_t rr, std::uint32_t cc) {
+    return rr * cols + cc;
+  };
+  while (c != tc) {
+    const std::uint32_t nc = c < tc ? c + 1 : c - 1;
+    route.push_back(find_link(net, id(r, c), id(r, nc)));
+    c = nc;
+  }
+  while (r != tr) {
+    const std::uint32_t nr = r < tr ? r + 1 : r - 1;
+    route.push_back(find_link(net, id(r, c), id(nr, c)));
+    r = nr;
+  }
+  return route;
+}
+
+}  // namespace ft

@@ -1,0 +1,37 @@
+// Route computation on competitor networks. The universality experiments
+// only need *some* reasonable routes for the store-and-forward simulator;
+// we provide deterministic shortest paths (per-source BFS with fixed
+// tie-breaking) plus the classical oblivious schemes — e-cube on the
+// hypercube and dimension-ordered (XY) on meshes — as named baselines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/message.hpp"
+#include "nets/network.hpp"
+
+namespace ft {
+
+/// A route: the sequence of link ids from source node to destination node.
+using Route = std::vector<std::uint32_t>;
+
+/// Deterministic BFS shortest path between two nodes; empty when
+/// from == to. FT_CHECKs reachability.
+Route bfs_route(const Network& net, std::uint32_t from_node,
+                std::uint32_t to_node);
+
+/// Routes for a whole processor-level message set, grouping by source so
+/// each distinct source runs one BFS.
+std::vector<Route> route_all_bfs(const Network& net, const MessageSet& m);
+
+/// e-cube (dimension-ordered) route on a hypercube built by
+/// build_hypercube: correct lowest differing bit first.
+Route ecube_route(const Network& net, std::uint32_t dim, std::uint32_t from,
+                  std::uint32_t to);
+
+/// XY dimension-ordered route on a mesh built by build_mesh2d.
+Route xy_route(const Network& net, std::uint32_t rows, std::uint32_t cols,
+               std::uint32_t from, std::uint32_t to);
+
+}  // namespace ft

@@ -1,0 +1,80 @@
+#include "nets/store_forward.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+StoreForwardResult simulate_store_forward(const Network& net,
+                                          const std::vector<Route>& routes) {
+  StoreForwardResult result;
+
+  struct Flight {
+    std::uint32_t route_pos = 0;  // next link index in its route
+  };
+  std::vector<Flight> flights(routes.size());
+  std::vector<std::deque<std::uint32_t>> queues(net.num_links());
+
+  std::size_t in_flight = 0;
+  double latency_sum = 0.0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    result.total_hops += routes[i].size();
+    if (routes[i].empty()) continue;  // local message, finishes at round 0
+    queues[routes[i][0]].push_back(static_cast<std::uint32_t>(i));
+    ++in_flight;
+  }
+
+  while (in_flight > 0) {
+    ++result.rounds;
+    // Arrivals buffered so a message moves one hop per round.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;  // link,msg
+    bool moved = false;
+    for (std::uint32_t lid = 0; lid < net.num_links(); ++lid) {
+      auto& q = queues[lid];
+      const std::uint32_t cap = net.link(lid).capacity;
+      for (std::uint32_t c = 0; c < cap && !q.empty(); ++c) {
+        const std::uint32_t msg = q.front();
+        q.pop_front();
+        moved = true;
+        auto& fl = flights[msg];
+        ++fl.route_pos;
+        if (fl.route_pos == routes[msg].size()) {
+          latency_sum += result.rounds;
+          --in_flight;
+        } else {
+          arrivals.emplace_back(routes[msg][fl.route_pos], msg);
+        }
+      }
+      result.max_queue =
+          std::max(result.max_queue, static_cast<std::uint32_t>(q.size()));
+    }
+    FT_CHECK_MSG(moved, "store-and-forward made no progress");
+    for (const auto& [lid, msg] : arrivals) queues[lid].push_back(msg);
+  }
+
+  result.mean_latency =
+      routes.empty() ? 0.0 : latency_sum / static_cast<double>(routes.size());
+  return result;
+}
+
+std::uint32_t store_forward_lower_bound(const Network& net,
+                                        const std::vector<Route>& routes) {
+  std::uint32_t dilation = 0;
+  std::vector<std::uint64_t> load(net.num_links(), 0);
+  for (const auto& r : routes) {
+    dilation = std::max(dilation, static_cast<std::uint32_t>(r.size()));
+    for (std::uint32_t lid : r) ++load[lid];
+  }
+  std::uint64_t congestion = 0;
+  for (std::uint32_t lid = 0; lid < net.num_links(); ++lid) {
+    congestion = std::max(
+        congestion, (load[lid] + net.link(lid).capacity - 1) /
+                        net.link(lid).capacity);
+  }
+  return std::max<std::uint32_t>(dilation,
+                                 static_cast<std::uint32_t>(congestion));
+}
+
+}  // namespace ft

@@ -1,0 +1,32 @@
+// Synchronous store-and-forward simulation on a competitor network. Each
+// round every link forwards up to its capacity in FIFO order; the result
+// is the delivery time t that Theorem 10 compares the fat-tree's
+// O(t · lg³ n) against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nets/network.hpp"
+#include "nets/routing.hpp"
+
+namespace ft {
+
+struct StoreForwardResult {
+  std::uint32_t rounds = 0;         ///< time to deliver everything
+  std::uint64_t total_hops = 0;     ///< sum of route lengths
+  double mean_latency = 0.0;        ///< average per-message finish round
+  std::uint32_t max_queue = 0;      ///< peak per-link queue length
+};
+
+/// Simulates messages with precomputed routes. Messages with empty routes
+/// (src == dst) finish in round 0.
+StoreForwardResult simulate_store_forward(const Network& net,
+                                          const std::vector<Route>& routes);
+
+/// Lower bound on delivery time: max(longest route, max per-link
+/// congestion / capacity). Useful as a sanity reference in experiments.
+std::uint32_t store_forward_lower_bound(const Network& net,
+                                        const std::vector<Route>& routes);
+
+}  // namespace ft

@@ -1,0 +1,29 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+
+#include "util/table.hpp"
+
+namespace ft {
+
+std::vector<std::uint32_t> pow2_range(std::uint32_t lo, std::uint32_t hi) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t e = lo; e <= hi; ++e) out.push_back(1u << e);
+  return out;
+}
+
+std::string ratio_str(double value, double reference) {
+  if (reference == 0.0) return "n/a";
+  return format_double(value / reference, 2) + "x";
+}
+
+void print_experiment_header(const std::string& id,
+                             const std::string& artifact,
+                             const std::string& claim) {
+  std::printf("\n################################################\n");
+  std::printf("# %s — %s\n", id.c_str(), artifact.c_str());
+  std::printf("# Paper claim: %s\n", claim.c_str());
+  std::printf("################################################\n");
+}
+
+}  // namespace ft

@@ -1,0 +1,21 @@
+// Shared helpers for the experiment binaries in bench/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// {2^lo, 2^{lo+1}, ..., 2^hi}.
+std::vector<std::uint32_t> pow2_range(std::uint32_t lo, std::uint32_t hi);
+
+/// "1.23x" style ratio formatting for experiment tables.
+std::string ratio_str(double value, double reference);
+
+/// Prints the standard experiment banner (id, paper artifact, claim).
+void print_experiment_header(const std::string& id,
+                             const std::string& artifact,
+                             const std::string& claim);
+
+}  // namespace ft

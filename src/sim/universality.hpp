@@ -1,0 +1,69 @@
+// The Theorem 10 pipeline: simulate an arbitrary routing network R of
+// volume v on the universal fat-tree of the same volume.
+//
+//   1. Lay R out in 3-space (nets/layouts.hpp).
+//   2. Build its cutting-plane decomposition tree (Theorem 5) and balance
+//      it (Theorem 8).
+//   3. Identify R's processors with fat-tree leaves via the balanced
+//      tree's in-order leaf sequence.
+//   4. Size the fat-tree to volume v: root capacity
+//      Θ(v^{2/3}/lg(n/v^{2/3})).
+//   5. Route the (remapped) message set off-line; the theorem predicts
+//      λ(M) = O(t·lg n), hence O(t·lg² n) delivery cycles and O(t·lg³ n)
+//      total time against R's time t.
+//
+// Also here: the Section VI application of emulating fixed-connection
+// networks (each link becomes one message of a one-cycle set, so one
+// emulated communication step costs O(lg n) fat-tree time).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+#include "layout/geometry.hpp"
+#include "nets/network.hpp"
+
+namespace ft {
+
+/// Steps 1-3: the processor identification induced by the balanced
+/// decomposition of a layout. Entry i is the network processor placed at
+/// fat-tree leaf i.
+std::vector<std::uint32_t> identify_processors(const Layout3D& layout);
+
+struct UniversalityReport {
+  std::string network;
+  std::uint32_t n = 0;
+  double volume = 0.0;
+  std::uint64_t ft_root_capacity = 0;
+  std::uint32_t competitor_rounds = 0;  ///< t: store-and-forward time on R
+  double load_factor = 0.0;             ///< λ(M) on the fat-tree
+  std::size_t ft_cycles = 0;            ///< off-line schedule length
+  double ft_time = 0.0;                 ///< cycles × Θ(lg n) bit-time
+  double slowdown = 0.0;                ///< ft_time / t
+  double lg3_n = 0.0;                   ///< the theorem's reference curve
+};
+
+/// Runs the full pipeline for one network + layout + message set.
+UniversalityReport simulate_network_on_fattree(const Network& net,
+                                               const Layout3D& layout,
+                                               const MessageSet& messages);
+
+/// Fixed-connection network emulation (Section VI): the links of `net`
+/// become a message set routed on a universal fat-tree whose processors
+/// have degree-d connections; reports the delivery cycles for one
+/// emulated step (Θ(1) cycles, i.e. O(lg n) time, when capacities allow).
+struct EmulationReport {
+  std::string network;
+  std::uint32_t n = 0;
+  std::uint32_t degree = 0;
+  double load_factor = 0.0;
+  std::size_t cycles_per_step = 0;
+};
+EmulationReport emulate_fixed_connection(const Network& net,
+                                         std::uint64_t root_capacity);
+
+}  // namespace ft

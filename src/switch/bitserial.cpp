@@ -1,0 +1,200 @@
+#include "switch/bitserial.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace ft {
+namespace {
+
+struct Flight {
+  Leaf src;
+  Leaf dst;
+  std::uint32_t lca_level;
+  std::uint32_t wire = 0;  ///< wire occupied in the current channel
+  bool alive = true;
+  std::size_t original_index;
+};
+
+}  // namespace
+
+BitSerialSimulator::BitSerialSimulator(const FatTreeTopology& topo,
+                                       const CapacityProfile& caps,
+                                       const BitSerialOptions& options)
+    : topo_(topo), caps_(caps), options_(options) {
+  Rng rng(options_.seed);
+  switches_.reserve(topo_.height());
+  for (std::uint32_t k = 0; k < topo_.height(); ++k) {
+    switches_.emplace_back(caps_.capacity_at_level(k),
+                           caps_.capacity_at_level(k + 1),
+                           options_.concentrators, rng);
+  }
+}
+
+const LevelSwitch& BitSerialSimulator::level_switch(std::uint32_t level) const {
+  FT_CHECK(level < switches_.size());
+  return switches_[level];
+}
+
+std::uint32_t BitSerialSimulator::address_bits(Leaf src, Leaf dst) const {
+  if (src == dst) return 0;
+  const std::uint32_t lca_level = topo_.level(topo_.lca(src, dst));
+  return 2 * (topo_.height() - lca_level);
+}
+
+CycleResult BitSerialSimulator::run_cycle(const MessageSet& m) const {
+  const std::uint32_t L = topo_.height();
+  const std::uint32_t n = topo_.num_processors();
+
+  CycleResult result;
+  result.delivered.assign(m.size(), 0);
+
+  std::vector<Flight> flights;
+  flights.reserve(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i].src == m[i].dst) {
+      // Local delivery: never enters the network.
+      result.delivered[i] = 1;
+      ++result.num_delivered;
+      result.makespan_bits =
+          std::max(result.makespan_bits, 1 + options_.payload_bits);
+      continue;
+    }
+    flights.push_back(Flight{m[i].src, m[i].dst,
+                             topo_.level(topo_.lca(m[i].src, m[i].dst)), 0,
+                             true, i});
+  }
+
+  // ---- Injection: each processor drives its leaf channel (cap(L) wires).
+  {
+    std::map<Leaf, std::vector<std::size_t>> by_leaf;
+    for (std::size_t f = 0; f < flights.size(); ++f) {
+      by_leaf[flights[f].src].push_back(f);
+    }
+    const std::uint64_t leaf_cap = caps_.capacity_at_level(L);
+    for (auto& [leaf, fs] : by_leaf) {
+      (void)leaf;
+      for (std::size_t j = 0; j < fs.size(); ++j) {
+        if (j < leaf_cap) {
+          flights[fs[j]].wire = static_cast<std::uint32_t>(j);
+        } else {
+          flights[fs[j]].alive = false;
+          ++result.lost;
+        }
+      }
+    }
+  }
+
+  // ---- Ascend: arbitrate up channels from level L-1 down to 1. The up
+  // channel above node u (level k) is driven by u's up concentrator, whose
+  // inputs come from u's two child channels.
+  for (std::uint32_t k = L; k-- >= 1;) {
+    if (k == 0) break;
+    std::map<NodeId, std::vector<std::size_t>> by_node;
+    for (std::size_t f = 0; f < flights.size(); ++f) {
+      const auto& fl = flights[f];
+      if (!fl.alive || k <= fl.lca_level) continue;
+      const NodeId node = (n + fl.src) >> (L - k);
+      by_node[node].push_back(f);
+    }
+    const LevelSwitch& sw = switches_[k];  // node at level k
+    for (auto& [node, fs] : by_node) {
+      std::vector<std::uint32_t> inputs;
+      inputs.reserve(fs.size());
+      for (std::size_t f : fs) {
+        const auto& fl = flights[f];
+        // Which child of `node` did the message ascend from?
+        const NodeId child = (n + fl.src) >> (L - k - 1);
+        const bool right = (child & 1u) != 0;
+        inputs.push_back(static_cast<std::uint32_t>(
+            sw.up_input_from_child(right, fl.wire)));
+      }
+      const auto wires = sw.up().route(inputs);
+      for (std::size_t j = 0; j < fs.size(); ++j) {
+        if (wires[j] >= 0) {
+          flights[fs[j]].wire = static_cast<std::uint32_t>(wires[j]);
+        } else {
+          flights[fs[j]].alive = false;
+          ++result.lost;
+        }
+      }
+    }
+  }
+
+  // ---- Descend: arbitrate down channels from level 1 to L. The down
+  // channel above node u (level k) is driven by parent(u)'s down
+  // concentrator toward u; inputs are the parent's U port (pass-through
+  // messages) and the sibling's up channel (messages turning at the
+  // parent, which is their LCA).
+  for (std::uint32_t k = 1; k <= L; ++k) {
+    std::map<NodeId, std::vector<std::size_t>> by_node;
+    for (std::size_t f = 0; f < flights.size(); ++f) {
+      const auto& fl = flights[f];
+      if (!fl.alive || k <= fl.lca_level) continue;
+      const NodeId node = (n + fl.dst) >> (L - k);
+      by_node[node].push_back(f);
+    }
+    const LevelSwitch& sw = switches_[k - 1];  // parent node at level k-1
+    for (auto& [node, fs] : by_node) {
+      std::vector<std::uint32_t> inputs;
+      inputs.reserve(fs.size());
+      for (std::size_t f : fs) {
+        const auto& fl = flights[f];
+        const bool turning = fl.lca_level == k - 1;
+        inputs.push_back(static_cast<std::uint32_t>(
+            turning ? sw.down_input_from_sibling(fl.wire)
+                    : sw.down_input_from_parent(fl.wire)));
+      }
+      const auto wires = sw.down().route(inputs);
+      for (std::size_t j = 0; j < fs.size(); ++j) {
+        if (wires[j] >= 0) {
+          flights[fs[j]].wire = static_cast<std::uint32_t>(wires[j]);
+        } else {
+          flights[fs[j]].alive = false;
+          ++result.lost;
+        }
+      }
+    }
+  }
+
+  // ---- Arrival accounting: hop delay + M bit + address + payload.
+  for (const auto& fl : flights) {
+    if (!fl.alive) continue;
+    result.delivered[fl.original_index] = 1;
+    ++result.num_delivered;
+    const std::uint32_t hops = 2 * (L - fl.lca_level) - 1;  // nodes visited
+    const std::uint32_t addr = 2 * (L - fl.lca_level);
+    const std::uint32_t t = hops + 1 + addr + options_.payload_bits;
+    result.makespan_bits = std::max(result.makespan_bits, t);
+  }
+  return result;
+}
+
+FullRunResult BitSerialSimulator::run_until_delivered(
+    const MessageSet& m, std::uint32_t max_cycles) const {
+  FullRunResult out;
+  MessageSet pending = m;
+  Rng retry_rng(options_.seed ^ 0x5ca1ab1eULL);
+  while (!pending.empty()) {
+    FT_CHECK_MSG(out.delivery_cycles < max_cycles,
+                 "bit-serial run exceeded max_cycles");
+    // Randomize retry priority: arbitration is order-sensitive, so a fresh
+    // order each cycle prevents a fixed loser set from livelocking.
+    retry_rng.shuffle(pending);
+    const CycleResult cycle = run_cycle(pending);
+    ++out.delivery_cycles;
+    out.total_bit_time += cycle.makespan_bits;
+    out.total_losses += cycle.lost;
+    MessageSet next;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!cycle.delivered[i]) next.push_back(pending[i]);
+    }
+    FT_CHECK_MSG(next.size() < pending.size() || pending.empty(),
+                 "bit-serial cycle made no progress");
+    pending = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace ft

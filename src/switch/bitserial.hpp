@@ -1,0 +1,78 @@
+// Bit-serial delivery-cycle simulation (Section II, Fig. 2).
+//
+// Messages are bit strings: an M bit (does this wire carry a message?),
+// then address bits consumed one per node (while ascending, a bit decides
+// "continue up" vs "turn here"; after turning, a bit per node decides left
+// vs right — at most 2·lg n address bits), then the payload. Leading bits
+// snake through the tree establishing a path for the rest to follow.
+//
+// Within one delivery cycle the simulator arbitrates every channel with
+// the node's concentrator (ideal or partial, Fig. 3) in causal order —
+// up channels leaf-to-root, then down channels root-to-leaf — tracking
+// the physical wire each message occupies in each channel. Messages that
+// lose a concentrator lottery are lost (congestion); the acknowledgment
+// mechanism reports them to the source, which resends next cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+#include "switch/node.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+struct BitSerialOptions {
+  ConcentratorKind concentrators = ConcentratorKind::Ideal;
+  std::uint32_t payload_bits = 32;
+  std::uint64_t seed = 0x0b17531a15ULL;  ///< wiring seed for partial mode
+};
+
+/// Outcome of one delivery cycle.
+struct CycleResult {
+  std::vector<std::uint8_t> delivered;  ///< per input message
+  std::uint64_t lost = 0;
+  /// Bit-times until the last delivered message fully arrived:
+  /// path nodes (unit switch delay each) + 1 (M bit) + address bits +
+  /// payload bits.
+  std::uint32_t makespan_bits = 0;
+  std::size_t num_delivered = 0;
+};
+
+/// Outcome of routing a whole message set with retry-on-loss.
+struct FullRunResult {
+  std::uint32_t delivery_cycles = 0;
+  std::uint64_t total_bit_time = 0;  ///< sum of per-cycle makespans
+  std::uint64_t total_losses = 0;
+};
+
+class BitSerialSimulator {
+ public:
+  BitSerialSimulator(const FatTreeTopology& topo, const CapacityProfile& caps,
+                     const BitSerialOptions& options = {});
+
+  /// Simulates one delivery cycle carrying `m`.
+  CycleResult run_cycle(const MessageSet& m) const;
+
+  /// Repeats delivery cycles (lost messages resent) until all of `m` has
+  /// been delivered.
+  FullRunResult run_until_delivered(const MessageSet& m,
+                                    std::uint32_t max_cycles = 4096) const;
+
+  /// Address-word length for a message: the number of routing decisions
+  /// its path consumes (<= 2·lg n; 0 for src == dst).
+  std::uint32_t address_bits(Leaf src, Leaf dst) const;
+
+  const LevelSwitch& level_switch(std::uint32_t level) const;
+
+ private:
+  const FatTreeTopology& topo_;
+  const CapacityProfile& caps_;
+  BitSerialOptions options_;
+  std::vector<LevelSwitch> switches_;  // index k: nodes at level k (0..L-1)
+};
+
+}  // namespace ft

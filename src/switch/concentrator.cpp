@@ -1,0 +1,138 @@
+#include "switch/concentrator.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ft {
+
+IdealConcentrator::IdealConcentrator(std::size_t inputs, std::size_t outputs)
+    : inputs_(inputs), outputs_(outputs) {
+  FT_CHECK(outputs >= 1);
+}
+
+std::vector<std::int32_t> IdealConcentrator::route(
+    const std::vector<std::uint32_t>& active_inputs) const {
+  std::vector<std::int32_t> out(active_inputs.size(), -1);
+  const std::size_t routed = std::min(active_inputs.size(), outputs_);
+  for (std::size_t i = 0; i < routed; ++i) {
+    FT_CHECK(active_inputs[i] < inputs_);
+    out[i] = static_cast<std::int32_t>(i);
+  }
+  return out;
+}
+
+PartialConcentrator::PartialConcentrator(std::size_t inputs,
+                                         std::size_t outputs, Rng& rng,
+                                         std::size_t in_degree)
+    : inputs_(inputs),
+      graph_(inputs, outputs == 0
+                         ? std::max<std::size_t>(1, ceil_div(2 * inputs, 3))
+                         : outputs) {
+  FT_CHECK(inputs >= 1);
+  const std::size_t s = graph_.num_right();
+  const std::size_t degree = std::min(in_degree, s);
+  // Each input connects to `degree` distinct uniformly random outputs; the
+  // random graph is an expander with high probability, which is exactly
+  // Pippenger's existence argument.
+  std::vector<std::uint32_t> outputs_pool(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    outputs_pool[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t u = 0; u < inputs; ++u) {
+    // Partial Fisher-Yates: the first `degree` entries become u's targets.
+    for (std::size_t j = 0; j < degree; ++j) {
+      const std::size_t k = j + rng.below(s - j);
+      std::swap(outputs_pool[j], outputs_pool[k]);
+      graph_.add_edge(u, outputs_pool[j]);
+    }
+  }
+}
+
+std::vector<std::int32_t> PartialConcentrator::route(
+    const std::vector<std::uint32_t>& active_inputs) const {
+  const Matching m = hopcroft_karp_subset(graph_, active_inputs);
+  std::vector<std::int32_t> out(active_inputs.size(), -1);
+  for (std::size_t i = 0; i < active_inputs.size(); ++i) {
+    out[i] = m.match_left[active_inputs[i]];
+  }
+  return out;
+}
+
+double PartialConcentrator::measure_full_routing_rate(std::size_t k,
+                                                      std::size_t trials,
+                                                      Rng& rng) const {
+  FT_CHECK(k <= inputs_);
+  std::size_t full = 0;
+  std::vector<std::uint32_t> pool(inputs_);
+  for (std::size_t i = 0; i < inputs_; ++i) {
+    pool[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t idx = j + rng.below(inputs_ - j);
+      std::swap(pool[j], pool[idx]);
+    }
+    const std::vector<std::uint32_t> active(pool.begin(),
+                                            pool.begin() +
+                                                static_cast<std::ptrdiff_t>(k));
+    const Matching m = hopcroft_karp_subset(graph_, active);
+    if (m.size == k) ++full;
+  }
+  return trials ? static_cast<double>(full) / static_cast<double>(trials)
+                : 1.0;
+}
+
+ConcentratorCascade::ConcentratorCascade(std::size_t inputs,
+                                         std::size_t target_outputs, Rng& rng,
+                                         std::size_t in_degree)
+    : inputs_(inputs), outputs_(inputs) {
+  FT_CHECK(target_outputs >= 1);
+  // Shrink by 2/3 per stage until at or below the target; a final exact
+  // stage lands on target_outputs. The floor guarantees strict shrinkage
+  // (ceil(2·2/3) = 2 would loop forever on two-wire stages).
+  while (outputs_ > target_outputs) {
+    const std::size_t next =
+        std::max(target_outputs, (2 * outputs_) / 3);
+    stages_.emplace_back(outputs_, next, rng, in_degree);
+    outputs_ = next;
+  }
+}
+
+std::vector<std::int32_t> ConcentratorCascade::route(
+    const std::vector<std::uint32_t>& active_inputs) const {
+  // Route stage by stage; a message lost at any stage stays lost.
+  std::vector<std::int32_t> result(active_inputs.size(), -1);
+  // current wire of each still-alive message, and its index in `result`
+  std::vector<std::uint32_t> wires = active_inputs;
+  std::vector<std::size_t> owner(active_inputs.size());
+  for (std::size_t i = 0; i < owner.size(); ++i) owner[i] = i;
+
+  if (stages_.empty()) {
+    for (std::size_t i = 0; i < active_inputs.size(); ++i) {
+      result[i] = static_cast<std::int32_t>(active_inputs[i]);
+    }
+    return result;
+  }
+
+  for (const auto& stage : stages_) {
+    const auto assigned = stage.route(wires);
+    std::vector<std::uint32_t> next_wires;
+    std::vector<std::size_t> next_owner;
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      if (assigned[i] >= 0) {
+        next_wires.push_back(static_cast<std::uint32_t>(assigned[i]));
+        next_owner.push_back(owner[i]);
+      }
+    }
+    wires = std::move(next_wires);
+    owner = std::move(next_owner);
+  }
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    result[owner[i]] = static_cast<std::int32_t>(wires[i]);
+  }
+  return result;
+}
+
+}  // namespace ft

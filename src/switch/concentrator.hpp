@@ -1,0 +1,102 @@
+// Concentrator switches (Section IV). A concentrator's job is to create
+// electrical paths from the input wires that carry messages onto fewer
+// output wires; when more messages arrive than output wires exist, the
+// channel is congested and the surplus messages are lost.
+//
+// Following Pippenger's probabilistic construction cited by the paper, the
+// PartialConcentrator is a random bipartite graph with r inputs,
+// s = ceil(2r/3) outputs, input degree <= 6 — an (r, s, α) partial
+// concentrator with α = 3/4: any k <= α·s loaded inputs can reach k
+// outputs by vertex-disjoint paths (statistically validated in tests and
+// experiment E3). Paths are set up by matching (Hopcroft–Karp). Cascading
+// stages gives any constant concentration ratio in constant depth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switch/matching.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+/// Common interface: route the set of loaded input wires onto output
+/// wires; result[i] is the output wire assigned to active[i], or -1 when
+/// that message is lost to congestion.
+class Concentrator {
+ public:
+  virtual ~Concentrator() = default;
+
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::size_t num_outputs() const = 0;
+
+  virtual std::vector<std::int32_t> route(
+      const std::vector<std::uint32_t>& active_inputs) const = 0;
+};
+
+/// The idealized concentrator of Section III: loses messages only when the
+/// input count exceeds the output count, and then loses exactly the
+/// surplus (the later actives, matching a fixed priority order).
+class IdealConcentrator final : public Concentrator {
+ public:
+  IdealConcentrator(std::size_t inputs, std::size_t outputs);
+
+  std::size_t num_inputs() const override { return inputs_; }
+  std::size_t num_outputs() const override { return outputs_; }
+
+  std::vector<std::int32_t> route(
+      const std::vector<std::uint32_t>& active_inputs) const override;
+
+ private:
+  std::size_t inputs_;
+  std::size_t outputs_;
+};
+
+/// A single-stage (r, s, α) partial concentrator built as a random
+/// bipartite graph of input degree <= `in_degree`.
+class PartialConcentrator final : public Concentrator {
+ public:
+  /// outputs == 0 means the canonical s = ceil(2r/3).
+  PartialConcentrator(std::size_t inputs, std::size_t outputs, Rng& rng,
+                      std::size_t in_degree = 6);
+
+  std::size_t num_inputs() const override { return inputs_; }
+  std::size_t num_outputs() const override { return graph_.num_right(); }
+
+  std::vector<std::int32_t> route(
+      const std::vector<std::uint32_t>& active_inputs) const override;
+
+  const BipartiteGraph& graph() const { return graph_; }
+
+  /// Measures the concentration guarantee: over `trials` random active
+  /// sets of size k, the fraction fully routed. Experiment E3 sweeps k.
+  double measure_full_routing_rate(std::size_t k, std::size_t trials,
+                                   Rng& rng) const;
+
+ private:
+  std::size_t inputs_;
+  BipartiteGraph graph_;
+};
+
+/// Several partial concentrator stages pasted output-to-input until the
+/// width shrinks to at most `target_outputs`; the paper's way of obtaining
+/// any constant concentration ratio in constant depth.
+class ConcentratorCascade final : public Concentrator {
+ public:
+  ConcentratorCascade(std::size_t inputs, std::size_t target_outputs,
+                      Rng& rng, std::size_t in_degree = 6);
+
+  std::size_t num_inputs() const override { return inputs_; }
+  std::size_t num_outputs() const override { return outputs_; }
+  std::size_t depth() const { return stages_.size(); }
+
+  std::vector<std::int32_t> route(
+      const std::vector<std::uint32_t>& active_inputs) const override;
+
+ private:
+  std::size_t inputs_;
+  std::size_t outputs_;
+  std::vector<PartialConcentrator> stages_;
+};
+
+}  // namespace ft

@@ -1,0 +1,96 @@
+#include "switch/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+void BipartiteGraph::add_edge(std::size_t left, std::size_t right) {
+  FT_CHECK(left < num_left_ && right < num_right_);
+  adj_[left].push_back(static_cast<std::uint32_t>(right));
+}
+
+namespace {
+
+constexpr std::int32_t kFree = -1;
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Hopcroft–Karp over an explicit active-left subset.
+Matching run(const BipartiteGraph& g,
+             const std::vector<std::uint32_t>& active) {
+  Matching m;
+  m.match_left.assign(g.num_left(), kFree);
+  m.match_right.assign(g.num_right(), kFree);
+
+  std::vector<std::uint32_t> dist(g.num_left(), kInf);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::uint32_t> q;
+    for (std::uint32_t u : active) {
+      if (m.match_left[u] == kFree) {
+        dist[u] = 0;
+        q.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (std::uint32_t v : g.neighbors(u)) {
+        const std::int32_t w = m.match_right[v];
+        if (w == kFree) {
+          found_augmenting = true;
+        } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+          dist[static_cast<std::size_t>(w)] = dist[u] + 1;
+          q.push(static_cast<std::uint32_t>(w));
+        }
+      }
+    }
+    return found_augmenting;
+  };
+
+  auto dfs = [&](auto&& self, std::uint32_t u) -> bool {
+    for (std::uint32_t v : g.neighbors(u)) {
+      const std::int32_t w = m.match_right[v];
+      if (w == kFree || (dist[static_cast<std::size_t>(w)] == dist[u] + 1 &&
+                         self(self, static_cast<std::uint32_t>(w)))) {
+        m.match_left[u] = static_cast<std::int32_t>(v);
+        m.match_right[v] = static_cast<std::int32_t>(u);
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (std::uint32_t u : active) {
+      if (m.match_left[u] == kFree && dfs(dfs, u)) {
+        ++m.size;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteGraph& g) {
+  std::vector<std::uint32_t> all(g.num_left());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<std::uint32_t>(i);
+  }
+  return run(g, all);
+}
+
+Matching hopcroft_karp_subset(const BipartiteGraph& g,
+                              const std::vector<std::uint32_t>& active_left) {
+  for (auto u : active_left) FT_CHECK(u < g.num_left());
+  return run(g, active_left);
+}
+
+}  // namespace ft

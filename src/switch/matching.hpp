@@ -1,0 +1,48 @@
+// Maximum bipartite matching (Hopcroft–Karp). The paper sets up paths
+// through partial concentrator graphs "by performing a sequence of
+// matchings on each level of the graph"; this is that machinery. Also used
+// by tests to check Hall-style concentration properties directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+/// A bipartite graph as left-vertex adjacency lists (right vertex ids).
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t num_left, std::size_t num_right)
+      : num_left_(num_left), num_right_(num_right), adj_(num_left) {}
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  std::size_t num_left() const { return num_left_; }
+  std::size_t num_right() const { return num_right_; }
+  const std::vector<std::uint32_t>& neighbors(std::size_t left) const {
+    return adj_[left];
+  }
+
+ private:
+  std::size_t num_left_;
+  std::size_t num_right_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+/// The matching result: for each left vertex, its matched right vertex or
+/// -1; `size` is the number of matched pairs.
+struct Matching {
+  std::vector<std::int32_t> match_left;
+  std::vector<std::int32_t> match_right;
+  std::size_t size = 0;
+};
+
+/// Maximum matching over the whole left side. O(E * sqrt(V)).
+Matching hopcroft_karp(const BipartiteGraph& g);
+
+/// Maximum matching restricted to a subset of active left vertices (the
+/// concentrator use case: only inputs carrying messages need paths).
+Matching hopcroft_karp_subset(const BipartiteGraph& g,
+                              const std::vector<std::uint32_t>& active_left);
+
+}  // namespace ft

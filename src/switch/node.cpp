@@ -1,0 +1,40 @@
+#include "switch/node.hpp"
+
+#include "util/check.hpp"
+
+namespace ft {
+
+namespace {
+
+std::unique_ptr<Concentrator> make_concentrator(std::size_t inputs,
+                                                std::size_t outputs,
+                                                ConcentratorKind kind,
+                                                Rng& rng) {
+  if (kind == ConcentratorKind::Ideal) {
+    return std::make_unique<IdealConcentrator>(inputs, outputs);
+  }
+  return std::make_unique<ConcentratorCascade>(inputs, outputs, rng);
+}
+
+}  // namespace
+
+LevelSwitch::LevelSwitch(std::uint64_t parent_cap, std::uint64_t child_cap,
+                         ConcentratorKind kind, Rng& rng)
+    : parent_cap_(parent_cap), child_cap_(child_cap) {
+  FT_CHECK(parent_cap >= 1 && child_cap >= 1);
+  up_ = make_concentrator(static_cast<std::size_t>(2 * child_cap),
+                          static_cast<std::size_t>(parent_cap), kind, rng);
+  down_ = make_concentrator(static_cast<std::size_t>(parent_cap + child_cap),
+                            static_cast<std::size_t>(child_cap), kind, rng);
+}
+
+std::uint64_t LevelSwitch::component_count() const {
+  // Each output port's selector needs one AND gate per incoming wire and
+  // the concentrator O(1) switches per wire per stage; we count incident
+  // wires, the paper's O(m) measure. The up port sees 2*child_cap inputs,
+  // each down port parent_cap + child_cap.
+  return 2 * child_cap_ + 2 * (parent_cap_ + child_cap_) +
+         (parent_cap_ + 2 * child_cap_);
+}
+
+}  // namespace ft

@@ -1,0 +1,74 @@
+// The internal structure of a fat-tree node (Fig. 3). A node has three
+// input ports (L0 and L1 from its children, U from its parent) and three
+// output ports. A message entering input Li can leave only through U or
+// the opposite child; a message entering U leaves through L0 or L1. Each
+// output port owns a *selector* (which examines the M bit and one address
+// bit to decide which incoming wires carry a message destined for this
+// port) followed by a *concentrator* (which maps those wires onto the
+// fewer wires of the outgoing channel).
+//
+// Because every node at a given tree level has identical port widths, the
+// simulator instantiates one LevelSwitch per level and reuses it across
+// the nodes of that level.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "switch/concentrator.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+
+/// The Fig. 3 selector: AND of the M bit with the address bit (toward one
+/// branch) or its complement (toward the other). Returns the derived M
+/// bits {toward_port_for_0, toward_port_for_1}.
+struct Selector {
+  static constexpr std::pair<bool, bool> select(bool m_bit, bool addr_bit) {
+    return {m_bit && !addr_bit, m_bit && addr_bit};
+  }
+};
+
+/// Which concentrator family a switch uses.
+enum class ConcentratorKind : std::uint8_t {
+  Ideal,    ///< loses messages only beyond capacity (Section III model)
+  Partial,  ///< cascaded random-bipartite partial concentrators (Section IV)
+};
+
+/// The switching units shared by every node at one level of the fat-tree.
+///
+/// Input-wire index spaces (matching Fig. 3's wiring):
+///   up output:   [0, child_cap) from L0, [child_cap, 2*child_cap) from L1
+///   down output: [0, parent_cap) from U,
+///                [parent_cap, parent_cap + child_cap) from the sibling
+class LevelSwitch {
+ public:
+  LevelSwitch(std::uint64_t parent_cap, std::uint64_t child_cap,
+              ConcentratorKind kind, Rng& rng);
+
+  std::uint64_t parent_capacity() const { return parent_cap_; }
+  std::uint64_t child_capacity() const { return child_cap_; }
+
+  const Concentrator& up() const { return *up_; }
+  const Concentrator& down() const { return *down_; }
+
+  std::size_t up_input_from_child(bool right_child, std::uint32_t wire) const {
+    return (right_child ? child_cap_ : 0) + wire;
+  }
+  std::size_t down_input_from_parent(std::uint32_t wire) const { return wire; }
+  std::size_t down_input_from_sibling(std::uint32_t wire) const {
+    return parent_cap_ + wire;
+  }
+
+  /// Component count of one node at this level: O(m) in the number of
+  /// incident wires (the paper's Section IV accounting).
+  std::uint64_t component_count() const;
+
+ private:
+  std::uint64_t parent_cap_;
+  std::uint64_t child_cap_;
+  std::unique_ptr<Concentrator> up_;    // 2*child_cap -> parent_cap
+  std::unique_ptr<Concentrator> down_;  // parent_cap + child_cap -> child_cap
+};
+
+}  // namespace ft

@@ -1,0 +1,56 @@
+// Small integer/bit utilities used throughout the library. The paper's
+// notation "lg n" means max(1, ceil(log2 n)); we expose both exact and
+// paper-flavoured variants.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace ft {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x > 0.
+constexpr std::uint32_t floor_log2(std::uint64_t x) {
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x > 0.
+constexpr std::uint32_t ceil_log2(std::uint64_t x) {
+  return x <= 1 ? 0u : floor_log2(x - 1) + 1;
+}
+
+/// The paper's "lg n" = max(1, ceil(log2 n)).
+constexpr std::uint32_t paper_lg(std::uint64_t n) {
+  std::uint32_t c = ceil_log2(n);
+  return c < 1 ? 1u : c;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Reverse the low `bits` bits of x (used by bit-reversal permutations).
+constexpr std::uint64_t reverse_bits(std::uint64_t x, std::uint32_t bits) {
+  std::uint64_t r = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+/// Population count convenience wrapper.
+constexpr std::uint32_t popcount(std::uint64_t x) {
+  return static_cast<std::uint32_t>(std::popcount(x));
+}
+
+}  // namespace ft

@@ -1,0 +1,28 @@
+// Checked assertions that stay on in release builds. Simulator invariants
+// (capacity never exceeded, schedules partition the message set, ...) are
+// cheap relative to the simulation itself, and silently-wrong experiment
+// output is far worse than a small constant overhead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ft::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FT_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace ft::detail
+
+#define FT_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::ft::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FT_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::ft::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,5 @@
+#include "util/prng.hpp"
+
+// Header-only implementation; this translation unit exists so the library
+// has a stable archive member and a place for future out-of-line helpers.
+namespace ft {}

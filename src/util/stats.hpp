@@ -1,0 +1,65 @@
+// Summary statistics for experiment reporting: mean/stddev/min/max,
+// percentiles, simple linear regression (used to fit measured scaling
+// curves against the paper's asymptotic bounds), and histograms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ft {
+
+/// Streaming accumulator (Welford) for mean and variance.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// The q-th percentile (q in [0,100]) by linear interpolation.
+/// The input vector is copied and sorted.
+double percentile(std::vector<double> xs, double q);
+
+/// Least-squares fit y = a + b*x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept;
+  double slope;
+  double r2;
+};
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range clamp to the end buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ft

@@ -1,0 +1,48 @@
+// Aligned-column table printer used by every experiment binary so the
+// regenerated "paper tables" share one look, plus a CSV writer for
+// downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ft {
+
+/// A simple column-aligned text table. Cells are strings; numeric
+/// convenience setters format with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(std::int64_t v);
+  Table& add(std::uint64_t v);
+  Table& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Table& add(unsigned v) { return add(static_cast<std::uint64_t>(v)); }
+  Table& add(double v, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Renders with a title banner, header row, separator, and data rows.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Comma-separated output (headers first) for machine consumption.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with experiments).
+std::string format_double(double v, int precision);
+
+}  // namespace ft

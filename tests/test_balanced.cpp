@@ -1,0 +1,146 @@
+#include "layout/balanced.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "nets/layouts.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Balanced, ProcessorOrderIsPermutation) {
+  const auto layout = layout_mesh2d(8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  auto order = balanced.processor_order();
+  ASSERT_EQ(order.size(), 64u);
+  std::sort(order.begin(), order.end());
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Balanced, RootHoldsAllProcessors) {
+  const auto layout = layout_mesh3d(4, 4, 4);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  EXPECT_EQ(balanced.root().num_processors, 64u);
+  EXPECT_LE(balanced.root().segments.size(), 2u);
+}
+
+TEST(Balanced, ProcessorsHalveAtEveryNode) {
+  const auto layout = layout_hypercube(128);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  for (const auto& node : balanced.nodes()) {
+    if (node.left < 0) continue;
+    const auto& l = balanced.nodes()[static_cast<std::size_t>(node.left)];
+    const auto& r = balanced.nodes()[static_cast<std::size_t>(node.right)];
+    EXPECT_EQ(l.num_processors + r.num_processors, node.num_processors);
+    EXPECT_LE(l.num_processors, (node.num_processors + 1) / 2);
+    EXPECT_LE(r.num_processors, (node.num_processors + 1) / 2);
+  }
+}
+
+TEST(Balanced, EveryNodeHasAtMostTwoSegments) {
+  const auto layout = layout_mesh2d(16, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  for (const auto& node : balanced.nodes()) {
+    EXPECT_GE(node.segments.size(), 1u);
+    EXPECT_LE(node.segments.size(), 2u);
+  }
+}
+
+TEST(Balanced, DepthIsLogarithmicInProcessors) {
+  const auto layout = layout_mesh2d(16, 16);  // 256 processors
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  // Processors halve per level: depth <= lg n + tree-depth slack for
+  // isolating the last pearl runs.
+  EXPECT_GE(balanced.depth(), 8u);
+  EXPECT_LE(balanced.depth(), 8u + tree.depth());
+}
+
+TEST(Balanced, BandwidthBoundDominatesChildBounds) {
+  // Not a theorem, but the forest bound should be positive everywhere and
+  // the root bound should equal the whole-line bound (one complete tree).
+  const auto layout = layout_mesh3d(4, 4, 4);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  EXPECT_DOUBLE_EQ(balanced.root().bandwidth_bound, tree.bandwidth(1));
+  for (const auto& node : balanced.nodes()) {
+    EXPECT_GT(node.bandwidth_bound, 0.0);
+  }
+}
+
+TEST(Balanced, Corollary9WidthEnvelope) {
+  // Corollary 9 for a (w, ∛4) decomposition tree: the balanced tree's
+  // width at depth k stays within (4a/(a−1))·w_k with a = ∛4 ≈ 1.587,
+  // i.e. factor ≈ 10.8. We allow the full constant.
+  const auto layout = layout_mesh3d(8, 8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  const double a = std::cbrt(4.0);
+  const double factor = 4.0 * a / (a - 1.0);
+  const std::uint32_t common =
+      std::min(balanced.depth(), tree.depth());
+  for (std::uint32_t d = 0; d <= common; ++d) {
+    const double wb = balanced.width_at_depth(d);
+    if (wb == 0.0) continue;
+    EXPECT_LE(wb, factor * tree.width_at_depth(d) + 1e-9) << "depth " << d;
+  }
+}
+
+TEST(Balanced, SegmentsNestWithinParent) {
+  const auto layout = layout_mesh2d(8, 4);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  auto contained = [](const Segment& inner,
+                      const std::vector<Segment>& outer) {
+    for (const auto& o : outer) {
+      if (inner.begin >= o.begin && inner.end <= o.end) return true;
+    }
+    return false;
+  };
+  for (const auto& node : balanced.nodes()) {
+    if (node.left < 0) continue;
+    for (const auto child_idx : {node.left, node.right}) {
+      const auto& child =
+          balanced.nodes()[static_cast<std::size_t>(child_idx)];
+      for (const auto& seg : child.segments) {
+        EXPECT_TRUE(contained(seg, node.segments));
+      }
+    }
+  }
+}
+
+TEST(Balanced, OrderConsistentWithRecursion) {
+  // The first half of processor_order() must be exactly the processors of
+  // the root's left child.
+  const auto layout = layout_mesh2d(8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  const BalancedDecomposition balanced(tree);
+  const auto& root = balanced.root();
+  ASSERT_GE(root.left, 0);
+  const auto& left = balanced.nodes()[static_cast<std::size_t>(root.left)];
+  const auto& order = balanced.processor_order();
+  // Collect the left child's processors from its segments.
+  std::vector<std::uint32_t> left_procs;
+  for (const auto& seg : left.segments) {
+    for (std::uint64_t pos = seg.begin; pos < seg.end; ++pos) {
+      if (tree.processor_at(pos) >= 0) {
+        left_procs.push_back(
+            static_cast<std::uint32_t>(tree.processor_at(pos)));
+      }
+    }
+  }
+  std::vector<std::uint32_t> first_half(order.begin(),
+                                        order.begin() + left_procs.size());
+  std::sort(left_procs.begin(), left_procs.end());
+  std::sort(first_half.begin(), first_half.end());
+  EXPECT_EQ(left_procs, first_half);
+}
+
+}  // namespace
+}  // namespace ft

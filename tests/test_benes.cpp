@@ -1,0 +1,85 @@
+#include "nets/benes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Benes, SmallestNetwork) {
+  const auto s = benes_route_permutation({1, 0});
+  EXPECT_EQ(s.k, 1u);
+  EXPECT_EQ(s.num_stages(), 1u);
+  EXPECT_EQ(benes_apply(s), (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Benes, IdentityPermutation) {
+  std::vector<std::uint32_t> id{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto s = benes_route_permutation(id);
+  EXPECT_EQ(s.num_stages(), 5u);
+  EXPECT_EQ(benes_apply(s), id);
+}
+
+TEST(Benes, ReversalPermutation) {
+  std::vector<std::uint32_t> rev{7, 6, 5, 4, 3, 2, 1, 0};
+  const auto s = benes_route_permutation(rev);
+  EXPECT_EQ(benes_apply(s), rev);
+}
+
+TEST(Benes, SwapPairs) {
+  std::vector<std::uint32_t> perm{1, 0, 3, 2};
+  const auto s = benes_route_permutation(perm);
+  EXPECT_EQ(s.num_stages(), 3u);
+  EXPECT_EQ(benes_apply(s), perm);
+}
+
+TEST(Benes, CyclicShift) {
+  const std::uint32_t n = 16;
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = (i + 1) % n;
+  const auto s = benes_route_permutation(perm);
+  EXPECT_EQ(benes_apply(s), perm);
+}
+
+TEST(Benes, StageAndSwitchCounts) {
+  Rng rng(3);
+  const auto perm = rng.permutation(64);
+  const auto s = benes_route_permutation(perm);
+  EXPECT_EQ(s.k, 6u);
+  EXPECT_EQ(s.num_stages(), 11u);
+  ASSERT_EQ(s.crossed.size(), 11u);
+  for (const auto& stage : s.crossed) {
+    EXPECT_EQ(stage.size(), 32u);
+  }
+}
+
+class BenesRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BenesRoundTrip, RandomPermutationsRealizedExactly) {
+  const std::uint32_t k = GetParam();
+  const std::uint32_t n = 1u << k;
+  Rng rng(100 + k);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto perm = rng.permutation(n);
+    const auto s = benes_route_permutation(perm);
+    EXPECT_EQ(benes_apply(s), perm) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BenesRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Benes, DepthIsLogarithmic) {
+  // The paper's Section VI comparison: Beneš routes any permutation in
+  // depth 2·lg n − 1 — the O(lg n) baseline for high-volume fat-trees.
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    Rng rng(k);
+    const auto perm = rng.permutation(1u << k);
+    const auto s = benes_route_permutation(perm);
+    EXPECT_EQ(s.num_stages(), 2 * k - 1);
+  }
+}
+
+}  // namespace
+}  // namespace ft

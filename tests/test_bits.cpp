@@ -1,0 +1,75 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, PaperLgIsAtLeastOne) {
+  // The paper's lg n = max(1, ceil(log2 n)).
+  EXPECT_EQ(paper_lg(1), 1u);
+  EXPECT_EQ(paper_lg(2), 1u);
+  EXPECT_EQ(paper_lg(3), 2u);
+  EXPECT_EQ(paper_lg(1024), 10u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  // Involution property.
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(reverse_bits(reverse_bits(x, 6), 6), x);
+  }
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount(0), 0u);
+  EXPECT_EQ(popcount(0b1011), 3u);
+  EXPECT_EQ(popcount(~std::uint64_t{0}), 64u);
+}
+
+}  // namespace
+}  // namespace ft

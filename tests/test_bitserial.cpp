@@ -1,0 +1,170 @@
+#include "switch/bitserial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(BitSerial, AddressBits) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::doubling(t);
+  BitSerialSimulator sim(t, caps);
+  EXPECT_EQ(sim.address_bits(3, 3), 0u);
+  EXPECT_EQ(sim.address_bits(0, 1), 2u);    // LCA one level up
+  EXPECT_EQ(sim.address_bits(0, 15), 8u);   // through the root: 2·lg n
+  EXPECT_LE(sim.address_bits(5, 9), 2u * t.height());
+}
+
+TEST(BitSerial, SelfMessageDeliveredLocally) {
+  FatTreeTopology t(8);
+  const auto caps = CapacityProfile::constant(t, 1);
+  BitSerialSimulator sim(t, caps);
+  const auto r = sim.run_cycle({{4, 4}});
+  EXPECT_EQ(r.num_delivered, 1u);
+  EXPECT_EQ(r.lost, 0u);
+}
+
+TEST(BitSerial, OneCycleSetFullyDeliveredWithIdealSwitches) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::doubling(t);
+  BitSerialSimulator sim(t, caps);
+  const auto m = complement_traffic(n);
+  ASSERT_TRUE(is_one_cycle(t, caps, m));
+  const auto r = sim.run_cycle(m);
+  EXPECT_EQ(r.num_delivered, m.size());
+  EXPECT_EQ(r.lost, 0u);
+}
+
+TEST(BitSerial, EveryScheduledCycleIsLossFree) {
+  // The Section III contract: with ideal concentrators a one-cycle set
+  // loses nothing — so every cycle emitted by the scheduler goes through.
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  BitSerialSimulator sim(t, caps);
+  Rng rng(1);
+  const auto m = stacked_permutations(n, 3, rng);
+  const auto schedule = schedule_offline(t, caps, m);
+  for (const auto& cycle : schedule.cycles) {
+    const auto r = sim.run_cycle(cycle);
+    EXPECT_EQ(r.lost, 0u);
+    EXPECT_EQ(r.num_delivered, cycle.size());
+  }
+}
+
+TEST(BitSerial, CongestionLosesSurplusOnly) {
+  FatTreeTopology t(8);
+  const auto caps = CapacityProfile::constant(t, 1);
+  BitSerialSimulator sim(t, caps);
+  // Three messages into the same destination subtree, capacity 1.
+  const MessageSet m{{0, 7}, {1, 7}, {2, 7}};
+  const auto r = sim.run_cycle(m);
+  EXPECT_EQ(r.num_delivered, 1u);
+  EXPECT_EQ(r.lost, 2u);
+}
+
+TEST(BitSerial, MakespanIsLogPlusMessageLength) {
+  const std::uint32_t n = 1024;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::doubling(t);
+  BitSerialOptions opts;
+  opts.payload_bits = 32;
+  BitSerialSimulator sim(t, caps, opts);
+  const auto r = sim.run_cycle(complement_traffic(n));
+  // hops = 2·lg n − 1, M bit = 1, address = 2·lg n, payload = 32.
+  const std::uint32_t expected = (2 * 10 - 1) + 1 + (2 * 10) + 32;
+  EXPECT_EQ(r.makespan_bits, expected);
+}
+
+TEST(BitSerial, LocalTrafficHasShorterMakespan) {
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::doubling(t);
+  BitSerialSimulator sim(t, caps);
+  // Neighbour exchange within pairs: LCA one level up.
+  MessageSet m;
+  for (Leaf p = 0; p < n; p += 2) m.push_back({p, p + 1});
+  const auto local = sim.run_cycle(m);
+  const auto global = sim.run_cycle(complement_traffic(n));
+  EXPECT_LT(local.makespan_bits, global.makespan_bits);
+}
+
+TEST(BitSerial, RunUntilDeliveredCompletes) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  BitSerialSimulator sim(t, caps);
+  Rng rng(3);
+  const auto m = stacked_permutations(n, 4, rng);
+  const auto r = sim.run_until_delivered(m);
+  EXPECT_GE(r.delivery_cycles, 1u);
+  const double lambda = load_factor(t, caps, m);
+  EXPECT_GE(static_cast<double>(r.delivery_cycles), lambda - 1.0);
+}
+
+TEST(BitSerial, PartialConcentratorsStillDeliverEverything) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  BitSerialOptions opts;
+  opts.concentrators = ConcentratorKind::Partial;
+  BitSerialSimulator sim(t, caps, opts);
+  Rng rng(5);
+  const auto m = stacked_permutations(n, 2, rng);
+  const auto r = sim.run_until_delivered(m);
+  EXPECT_GE(r.delivery_cycles, 1u);
+}
+
+TEST(BitSerial, PartialLossesComparableToIdeal) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng rng(7);
+  const auto m = stacked_permutations(n, 6, rng);
+
+  BitSerialSimulator ideal(t, caps);
+  BitSerialOptions opts;
+  opts.concentrators = ConcentratorKind::Partial;
+  BitSerialSimulator partial(t, caps, opts);
+
+  const auto ri = ideal.run_until_delivered(m);
+  const auto rp = partial.run_until_delivered(m);
+  // Partial concentrators route by maximum matching, so under heavy
+  // contention their loss behaviour tracks the ideal switch closely (the
+  // paper's "makes little difference" remark); they never do much better.
+  EXPECT_GE(2 * rp.total_losses, ri.total_losses);
+  EXPECT_LE(rp.total_losses, 3 * ri.total_losses + 100);
+}
+
+class BitSerialSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BitSerialSweep, ScheduledDeliveryMatchesTheoremTiming) {
+  const std::uint32_t n = GetParam();
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, n / 4);
+  BitSerialSimulator sim(t, caps);
+  Rng rng(n);
+  const auto m = random_permutation_traffic(n, rng);
+  const auto schedule = schedule_offline(t, caps, m);
+  std::uint64_t total_bits = 0;
+  for (const auto& cycle : schedule.cycles) {
+    const auto r = sim.run_cycle(cycle);
+    ASSERT_EQ(r.lost, 0u);
+    total_bits += r.makespan_bits;
+  }
+  // Per-cycle cost is O(lg n + payload).
+  const std::uint64_t per_cycle_bound = 4 * t.height() + 32 + 2;
+  EXPECT_LE(total_bits, schedule.num_cycles() * per_cycle_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitSerialSweep,
+                         ::testing::Values(16u, 64u, 256u, 1024u));
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,143 @@
+#include "nets/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "nets/routing.hpp"
+
+namespace ft {
+namespace {
+
+std::uint32_t reachable_from(const Network& net, std::uint32_t start) {
+  std::vector<std::uint8_t> seen(net.num_nodes(), 0);
+  std::queue<std::uint32_t> q;
+  seen[start] = 1;
+  q.push(start);
+  std::uint32_t count = 1;
+  while (!q.empty()) {
+    const auto u = q.front();
+    q.pop();
+    for (auto lid : net.out_links(u)) {
+      const auto v = net.link(lid).to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Builders, HypercubeCounts) {
+  const auto net = build_hypercube(5);
+  EXPECT_EQ(net.num_nodes(), 32u);
+  EXPECT_EQ(net.num_links(), 32u * 5u);  // directed
+  EXPECT_EQ(net.num_processors(), 32u);
+  EXPECT_EQ(net.max_degree(), 5u);
+  EXPECT_EQ(reachable_from(net, 0), 32u);
+}
+
+TEST(Builders, Mesh2dCounts) {
+  const auto net = build_mesh2d(4, 6);
+  EXPECT_EQ(net.num_nodes(), 24u);
+  // Directed links: 2*(r*(c-1) + c*(r-1)).
+  EXPECT_EQ(net.num_links(), 2u * (4 * 5 + 6 * 3));
+  EXPECT_LE(net.max_degree(), 4u);
+  EXPECT_EQ(reachable_from(net, 0), 24u);
+}
+
+TEST(Builders, Torus2dIsRegular) {
+  const auto net = build_torus2d(4, 4);
+  EXPECT_EQ(net.num_nodes(), 16u);
+  EXPECT_EQ(net.num_links(), 2u * 2u * 16u);
+  EXPECT_EQ(net.max_degree(), 4u);
+  EXPECT_EQ(reachable_from(net, 5), 16u);
+}
+
+TEST(Builders, Mesh3dCounts) {
+  const auto net = build_mesh3d(3, 3, 3);
+  EXPECT_EQ(net.num_nodes(), 27u);
+  EXPECT_EQ(net.max_degree(), 6u);
+  EXPECT_EQ(reachable_from(net, 13), 27u);
+}
+
+TEST(Builders, ShuffleExchangeConnectivity) {
+  const auto net = build_shuffle_exchange(4);
+  EXPECT_EQ(net.num_nodes(), 16u);
+  EXPECT_EQ(reachable_from(net, 0), 16u);
+  EXPECT_LE(net.max_degree(), 3u);  // exchange bidi + shuffle out
+}
+
+TEST(Builders, ButterflyCounts) {
+  const std::uint32_t k = 3;
+  const auto net = build_butterfly(k);
+  EXPECT_EQ(net.num_nodes(), (k + 1) * 8u);
+  EXPECT_EQ(net.num_processors(), 8u);
+  EXPECT_EQ(reachable_from(net, 0), net.num_nodes());
+  // Each inner stage node has degree 4 bidi.
+  EXPECT_LE(net.max_degree(), 4u);
+}
+
+TEST(Builders, BinaryTreeCounts) {
+  const auto net = build_binary_tree(4);  // 16 leaves
+  EXPECT_EQ(net.num_nodes(), 31u);
+  EXPECT_EQ(net.num_processors(), 16u);
+  EXPECT_EQ(net.max_degree(), 3u);
+  EXPECT_EQ(reachable_from(net, 0), 31u);
+}
+
+TEST(Builders, BenesNetworkCounts) {
+  const std::uint32_t k = 3;
+  const auto net = build_benes(k);
+  EXPECT_EQ(net.num_nodes(), (2 * k + 1) * 8u);
+  EXPECT_EQ(net.num_processors(), 8u);
+  EXPECT_EQ(reachable_from(net, 0), net.num_nodes());
+}
+
+TEST(Builders, TreeOfMeshesCounts) {
+  const std::uint32_t depth = 4;  // 16 processors
+  const auto net = build_tree_of_meshes(depth);
+  // Node widths: level l has 2^l arrays of 16/2^l switches = 16 switches
+  // per level, (depth+1) levels.
+  EXPECT_EQ(net.num_nodes(), 16u * 5u);
+  EXPECT_EQ(net.num_processors(), 16u);
+  EXPECT_EQ(reachable_from(net, 0), net.num_nodes());
+  EXPECT_LE(net.max_degree(), 4u);  // array neighbours + trunk links
+}
+
+TEST(Builders, TreeOfMeshesRoutesEveryPair) {
+  const auto net = build_tree_of_meshes(3);
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      const auto r = bfs_route(net, net.node_of_processor(a),
+                               net.node_of_processor(b));
+      EXPECT_FALSE(r.empty());
+    }
+  }
+}
+
+TEST(Builders, HypercubeNeighborsDifferInOneBit) {
+  const auto net = build_hypercube(6);
+  for (std::uint32_t lid = 0; lid < net.num_links(); ++lid) {
+    const auto& l = net.link(lid);
+    const std::uint32_t x = l.from ^ l.to;
+    EXPECT_EQ(x & (x - 1), 0u);
+    EXPECT_NE(x, 0u);
+  }
+}
+
+TEST(Builders, ProcessorNodesValid) {
+  for (const auto& net :
+       {build_hypercube(4), build_butterfly(4), build_binary_tree(4),
+        build_benes(4), build_shuffle_exchange(4)}) {
+    for (std::uint32_t p = 0; p < net.num_processors(); ++p) {
+      EXPECT_LT(net.node_of_processor(p), net.num_nodes()) << net.name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,140 @@
+#include "core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ft {
+namespace {
+
+TEST(Capacity, UniversalRootAndLeaves) {
+  FatTreeTopology t(1024);
+  const auto caps = CapacityProfile::universal(t, 256);
+  EXPECT_EQ(caps.root_capacity(), 256u);
+  EXPECT_EQ(caps.capacity_at_level(t.height()), 1u);  // processor channels
+}
+
+TEST(Capacity, UniversalMonotoneNonIncreasingDownward) {
+  FatTreeTopology t(4096);
+  for (std::uint64_t w : {256ull, 512ull, 1024ull, 4096ull}) {
+    const auto caps = CapacityProfile::universal(t, w);
+    for (std::uint32_t k = 0; k < t.height(); ++k) {
+      EXPECT_GE(caps.capacity_at_level(k), caps.capacity_at_level(k + 1))
+          << "w=" << w << " level=" << k;
+    }
+  }
+}
+
+TEST(Capacity, UniversalDoublingRegimeNearLeaves) {
+  // Below the breakpoint 3·lg(n/w) the capacities double per level up.
+  FatTreeTopology t(4096);  // L = 12
+  const std::uint64_t w = 1024;
+  const auto caps = CapacityProfile::universal(t, w);
+  const std::uint32_t breakpoint = 3 * 2;  // 3·lg(4096/1024) = 6
+  for (std::uint32_t k = t.height(); k > breakpoint + 1; --k) {
+    EXPECT_EQ(caps.capacity_at_level(k - 1), 2 * caps.capacity_at_level(k))
+        << "level " << k;
+  }
+}
+
+TEST(Capacity, UniversalRootRegimeGrowsByCubeRootOfFour) {
+  // Above the breakpoint the growth rate per level is 4^{1/3}.
+  FatTreeTopology t(4096);
+  const std::uint64_t w = 1024;
+  const auto caps = CapacityProfile::universal(t, w);
+  const double expected_ratio = std::exp2(2.0 / 3.0);
+  for (std::uint32_t k = 0; k + 1 < 6; ++k) {
+    const double ratio =
+        static_cast<double>(caps.capacity_at_level(k)) /
+        static_cast<double>(caps.capacity_at_level(k + 1));
+    EXPECT_NEAR(ratio, expected_ratio, 0.15) << "level " << k;
+  }
+}
+
+TEST(Capacity, UniversalClampsRootToN) {
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::universal(t, 100000);
+  EXPECT_EQ(caps.root_capacity(), 64u);
+}
+
+TEST(Capacity, FullFatTreeEqualsDoubling) {
+  FatTreeTopology t(256);
+  const auto uni = CapacityProfile::universal(t, 256);  // w = n
+  const auto dbl = CapacityProfile::doubling(t);
+  for (std::uint32_t k = 0; k <= t.height(); ++k) {
+    EXPECT_EQ(uni.capacity_at_level(k), dbl.capacity_at_level(k));
+  }
+}
+
+TEST(Capacity, ConstantProfile) {
+  FatTreeTopology t(32);
+  const auto caps = CapacityProfile::constant(t, 7);
+  for (std::uint32_t k = 0; k <= t.height(); ++k) {
+    EXPECT_EQ(caps.capacity_at_level(k), 7u);
+  }
+}
+
+TEST(Capacity, CapacityByNodeUsesChannelLevel) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::universal(t, 8);
+  EXPECT_EQ(caps.capacity(t, t.root()), caps.capacity_at_level(0));
+  EXPECT_EQ(caps.capacity(t, 2), caps.capacity_at_level(1));
+  EXPECT_EQ(caps.capacity(t, t.node_of_leaf(3)),
+            caps.capacity_at_level(t.height()));
+}
+
+TEST(Capacity, TotalWiresSkinnyTree) {
+  // Constant capacity 1: 2 wires per channel, 2n-1 channels.
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::constant(t, 1);
+  EXPECT_EQ(caps.total_wires(t), 2u * (2 * 16 - 1));
+}
+
+TEST(Capacity, TotalWiresGrowsWithRootCapacity) {
+  FatTreeTopology t(256);
+  std::uint64_t prev = 0;
+  for (std::uint64_t w : {64ull, 128ull, 256ull}) {
+    const auto wires = CapacityProfile::universal(t, w).total_wires(t);
+    EXPECT_GT(wires, prev);
+    prev = wires;
+  }
+}
+
+TEST(Capacity, MinimumCapacityIsOne) {
+  FatTreeTopology t(1024);
+  const auto caps = CapacityProfile::universal(t, 1);
+  for (std::uint32_t k = 0; k <= t.height(); ++k) {
+    EXPECT_GE(caps.capacity_at_level(k), 1u);
+  }
+}
+
+class UniversalSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(UniversalSweep, BreakpointConsistency) {
+  const auto [n, w] = GetParam();
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, w);
+  // Both regime formulas agree near the breakpoint within rounding.
+  const double bp = 3.0 * std::log2(static_cast<double>(n) / w);
+  for (std::uint32_t k = 0; k <= t.height(); ++k) {
+    const double doubling = std::exp2(static_cast<double>(t.height() - k));
+    const double root_regime = w * std::exp2(-2.0 * k / 3.0);
+    const double expect = std::max(1.0, std::min(doubling, root_regime));
+    EXPECT_NEAR(static_cast<double>(caps.capacity_at_level(k)) / expect, 1.0,
+                0.35)
+        << "n=" << n << " w=" << w << " k=" << k << " bp=" << bp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, UniversalSweep,
+    ::testing::Values(std::make_pair(256u, 64ull),
+                      std::make_pair(1024u, 128ull),
+                      std::make_pair(1024u, 512ull),
+                      std::make_pair(4096u, 256ull),
+                      std::make_pair(16384u, 1024ull)));
+
+}  // namespace
+}  // namespace ft

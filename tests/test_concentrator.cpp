@@ -1,0 +1,180 @@
+#include "switch/concentrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(IdealConcentrator, RoutesAllWhenUnderCapacity) {
+  IdealConcentrator c(10, 4);
+  const auto out = c.route({1, 5, 9});
+  ASSERT_EQ(out.size(), 3u);
+  std::set<std::int32_t> wires;
+  for (auto w : out) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+    wires.insert(w);
+  }
+  EXPECT_EQ(wires.size(), 3u);  // distinct output wires
+}
+
+TEST(IdealConcentrator, LosesExactlySurplus) {
+  IdealConcentrator c(10, 2);
+  const auto out = c.route({0, 1, 2, 3, 4});
+  std::size_t routed = 0;
+  for (auto w : out) {
+    if (w >= 0) ++routed;
+  }
+  EXPECT_EQ(routed, 2u);
+}
+
+TEST(PartialConcentrator, DefaultsToTwoThirdsOutputs) {
+  Rng rng(1);
+  PartialConcentrator c(12, 0, rng);
+  EXPECT_EQ(c.num_outputs(), 8u);
+  PartialConcentrator c2(10, 0, rng);
+  EXPECT_EQ(c2.num_outputs(), 7u);  // ceil(20/3)
+}
+
+TEST(PartialConcentrator, InputDegreeAtMostSix) {
+  Rng rng(3);
+  PartialConcentrator c(30, 20, rng);
+  for (std::size_t l = 0; l < 30; ++l) {
+    const auto& nb = c.graph().neighbors(l);
+    EXPECT_LE(nb.size(), 6u);
+    EXPECT_GE(nb.size(), 1u);
+    std::set<std::uint32_t> distinct(nb.begin(), nb.end());
+    EXPECT_EQ(distinct.size(), nb.size());  // no duplicate targets
+  }
+}
+
+TEST(PartialConcentrator, RoutedWiresAreDistinct) {
+  Rng rng(5);
+  PartialConcentrator c(24, 16, rng);
+  const auto out = c.route({0, 3, 7, 11, 19, 23});
+  std::set<std::int32_t> wires;
+  for (auto w : out) {
+    if (w >= 0) {
+      EXPECT_LT(w, 16);
+      EXPECT_TRUE(wires.insert(w).second);
+    }
+  }
+}
+
+TEST(PartialConcentrator, SingleMessageAlwaysRouted) {
+  Rng rng(7);
+  PartialConcentrator c(9, 6, rng);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    const auto out = c.route({i});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GE(out[0], 0);
+  }
+}
+
+TEST(PartialConcentrator, AlphaThreeQuartersLoadFullyRouted) {
+  // The Section IV property: any k <= (3/4)·s loaded inputs concentrate.
+  // Statistically verified: random graphs achieve it w.h.p. for r large.
+  Rng rng(11);
+  PartialConcentrator c(96, 64, rng);
+  Rng trials(13);
+  const double rate = c.measure_full_routing_rate(48, 300, trials);
+  EXPECT_GT(rate, 0.98);
+}
+
+TEST(PartialConcentrator, OverloadCannotFullyRoute) {
+  Rng rng(17);
+  PartialConcentrator c(30, 20, rng);
+  std::vector<std::uint32_t> all(30);
+  for (std::uint32_t i = 0; i < 30; ++i) all[i] = i;
+  const auto out = c.route(all);
+  std::size_t routed = 0;
+  for (auto w : out) {
+    if (w >= 0) ++routed;
+  }
+  EXPECT_LE(routed, 20u);
+  EXPECT_GE(routed, 15u);  // a decent expander still routes most
+}
+
+TEST(Cascade, ReachesTargetWidth) {
+  Rng rng(19);
+  ConcentratorCascade c(64, 8, rng);
+  EXPECT_EQ(c.num_inputs(), 64u);
+  EXPECT_EQ(c.num_outputs(), 8u);
+  // 64 -> 43 -> 29 -> 20 -> 14 -> 10 -> 8: logarithmic in the ratio.
+  EXPECT_GE(c.depth(), 3u);
+  EXPECT_LE(c.depth(), 8u);
+}
+
+TEST(Cascade, NoStageWhenAlreadyNarrow) {
+  Rng rng(23);
+  ConcentratorCascade c(4, 8, rng);
+  EXPECT_EQ(c.depth(), 0u);
+  const auto out = c.route({0, 2});
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(Cascade, RoutesLightLoadCompletely) {
+  Rng rng(29);
+  ConcentratorCascade c(64, 16, rng);
+  Rng pick(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> active;
+    std::set<std::uint32_t> used;
+    while (active.size() < 8) {
+      const auto i = static_cast<std::uint32_t>(pick.below(64));
+      if (used.insert(i).second) active.push_back(i);
+    }
+    const auto out = c.route(active);
+    std::set<std::int32_t> wires;
+    for (auto w : out) {
+      if (w >= 0) {
+        EXPECT_LT(w, 16);
+        EXPECT_TRUE(wires.insert(w).second);
+      }
+    }
+    // Half the output capacity: losses should be rare but tolerated.
+    EXPECT_GE(wires.size(), 7u) << "trial " << trial;
+  }
+}
+
+TEST(Cascade, NeverExceedsOutputs) {
+  Rng rng(37);
+  ConcentratorCascade c(48, 6, rng);
+  std::vector<std::uint32_t> all(48);
+  for (std::uint32_t i = 0; i < 48; ++i) all[i] = i;
+  const auto out = c.route(all);
+  std::size_t routed = 0;
+  for (auto w : out) {
+    if (w >= 0) ++routed;
+  }
+  EXPECT_LE(routed, 6u);
+  EXPECT_GE(routed, 1u);
+}
+
+class ConcentrationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConcentrationSweep, FullRoutingRateDegradesGracefully) {
+  const std::size_t k = GetParam();
+  Rng rng(41);
+  PartialConcentrator c(48, 32, rng);
+  Rng trials(43);
+  const double rate = c.measure_full_routing_rate(k, 120, trials);
+  if (k <= 16) {
+    EXPECT_GT(rate, 0.95) << "k=" << k;
+  }
+  if (k >= 33) {
+    EXPECT_EQ(rate, 0.0) << "k beyond outputs cannot fully route";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ConcentrationSweep,
+                         ::testing::Values(1u, 4u, 8u, 16u, 24u, 33u, 48u));
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,136 @@
+#include "layout/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nets/layouts.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Decomposition, EveryProcessorLandsInAUniqueLeaf) {
+  const auto layout = layout_mesh2d(8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  std::set<std::int32_t> seen;
+  std::uint64_t occupied = 0;
+  for (std::uint64_t pos = 0; pos < tree.num_leaves(); ++pos) {
+    const auto p = tree.processor_at(pos);
+    if (p >= 0) {
+      ++occupied;
+      EXPECT_TRUE(seen.insert(p).second);
+      EXPECT_LT(p, 64);
+    }
+  }
+  EXPECT_EQ(occupied, 64u);
+  EXPECT_EQ(tree.num_processors(), 64u);
+}
+
+TEST(Decomposition, RootBandwidthIsSurfaceArea) {
+  const auto layout = layout_mesh3d(4, 4, 4);
+  const auto tree = cut_plane_decomposition(layout, 2.0);
+  EXPECT_DOUBLE_EQ(tree.bandwidth(1), 2.0 * 6.0 * 16.0);  // γ·6·s²
+}
+
+TEST(Decomposition, WidthsDecreaseEveryThreeDepths) {
+  // Theorem 5: an (O(v^{2/3}), ∛4) tree — three cuts halve each dimension
+  // once, shrinking surface area by 4^{... }: widths at depth d+3 are
+  // strictly below widths at depth d.
+  const auto layout = layout_mesh3d(8, 8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  for (std::uint32_t d = 0; d + 3 <= tree.depth(); ++d) {
+    EXPECT_LT(tree.width_at_depth(d + 3), tree.width_at_depth(d))
+        << "depth " << d;
+  }
+}
+
+TEST(Decomposition, CubeWidthRatioIsCubeRootOfFour) {
+  // For a cube layout, surface area per 3 cuts scales by exactly 1/4^{?}:
+  // each full xyz round halves all sides -> area / 4.
+  const auto layout = layout_mesh3d(16, 16, 16);
+  const auto tree = cut_plane_decomposition(layout);
+  for (std::uint32_t d = 0; d + 3 <= 6; ++d) {
+    const double ratio = tree.width_at_depth(d) / tree.width_at_depth(d + 3);
+    EXPECT_NEAR(ratio, 4.0, 0.8) << "depth " << d;
+  }
+}
+
+TEST(Decomposition, RootWidthMatchesVTwoThirds) {
+  // w_0 = Θ(v^{2/3}) for cubes.
+  for (std::uint32_t s : {4u, 8u, 16u}) {
+    const auto layout = layout_mesh3d(s, s, s);
+    const auto tree = cut_plane_decomposition(layout);
+    const double v23 = std::pow(layout.volume(), 2.0 / 3.0);
+    EXPECT_NEAR(tree.width_at_depth(0) / v23, 6.0, 1e-9);
+  }
+}
+
+TEST(Decomposition, FlatLayoutStillSeparates) {
+  const auto layout = layout_mesh2d(16, 4);
+  const auto tree = cut_plane_decomposition(layout);
+  std::uint64_t procs = 0;
+  for (std::uint64_t pos = 0; pos < tree.num_leaves(); ++pos) {
+    if (tree.processor_at(pos) >= 0) ++procs;
+  }
+  EXPECT_EQ(procs, 64u);
+}
+
+TEST(Decomposition, SpreadLayoutHypercubeVolume) {
+  const auto layout = layout_hypercube(256);
+  EXPECT_EQ(layout.num_processors(), 256u);
+  // Θ(n^{3/2}) = 4096 cells.
+  EXPECT_NEAR(layout.volume(), 4096.0, 0.25 * 4096.0);
+  const auto tree = cut_plane_decomposition(layout);
+  std::uint64_t procs = 0;
+  for (std::uint64_t pos = 0; pos < tree.num_leaves(); ++pos) {
+    if (tree.processor_at(pos) >= 0) ++procs;
+  }
+  EXPECT_EQ(procs, 256u);
+}
+
+TEST(Decomposition, SubtreeHeapIndexing) {
+  const auto layout = layout_mesh2d(4, 4);
+  const auto tree = cut_plane_decomposition(layout);
+  // The root is the height-depth subtree starting at leaf 0.
+  EXPECT_EQ(tree.subtree_heap_index(tree.depth(), 0), 1u);
+  // Leaves are height-0 subtrees.
+  EXPECT_EQ(tree.subtree_heap_index(0, 0), tree.num_leaves());
+  EXPECT_EQ(tree.subtree_heap_index(0, 3), tree.num_leaves() + 3);
+}
+
+TEST(Decomposition, BandwidthMonotoneUpward) {
+  // A child's surface area never exceeds its parent's... (cut boxes can
+  // have larger surface/volume ratio, but absolute bandwidth shrinks or
+  // stays comparable). We assert the per-depth maxima are non-increasing.
+  const auto layout = layout_mesh3d(8, 8, 8);
+  const auto tree = cut_plane_decomposition(layout);
+  for (std::uint32_t d = 0; d < tree.depth(); ++d) {
+    EXPECT_LE(tree.width_at_depth(d + 1), tree.width_at_depth(d) + 1e-9);
+  }
+}
+
+TEST(Decomposition, SingleProcessor) {
+  Layout3D layout;
+  layout.bounds = Box3{Point3{0, 0, 0}, Point3{2, 2, 2}};
+  layout.positions = {Point3{0.5, 0.5, 0.5}};
+  const auto tree = cut_plane_decomposition(layout);
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_EQ(tree.processor_at(0), 0);
+}
+
+TEST(Decomposition, TwoCoincidentAxesProcessorsSeparate) {
+  Layout3D layout;
+  layout.bounds = Box3{Point3{0, 0, 0}, Point3{4, 4, 4}};
+  // Same x and y; differ only in z — separation needs z cuts (axis 2).
+  layout.positions = {Point3{1.5, 1.5, 0.5}, Point3{1.5, 1.5, 3.5}};
+  const auto tree = cut_plane_decomposition(layout);
+  std::set<std::int32_t> procs;
+  for (std::uint64_t pos = 0; pos < tree.num_leaves(); ++pos) {
+    if (tree.processor_at(pos) >= 0) procs.insert(tree.processor_at(pos));
+  }
+  EXPECT_EQ(procs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ft

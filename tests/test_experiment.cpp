@@ -1,0 +1,23 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft {
+namespace {
+
+TEST(Experiment, Pow2Range) {
+  const auto r = pow2_range(3, 6);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0], 8u);
+  EXPECT_EQ(r[3], 64u);
+  EXPECT_TRUE(pow2_range(5, 5).size() == 1 && pow2_range(5, 5)[0] == 32u);
+}
+
+TEST(Experiment, RatioStr) {
+  EXPECT_EQ(ratio_str(6.0, 3.0), "2.00x");
+  EXPECT_EQ(ratio_str(1.0, 0.0), "n/a");
+  EXPECT_EQ(ratio_str(1.0, 4.0), "0.25x");
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,169 @@
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/online_router.hpp"
+#include "core/traffic.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Faults, ZeroProbabilityIsIdentity) {
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(1);
+  FaultReport report;
+  const auto degraded = inject_wire_faults(t, caps, 0.0, rng, &report);
+  EXPECT_EQ(report.channels_degraded, 0u);
+  EXPECT_EQ(report.wires_before, report.wires_after);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(degraded.capacity(t, v), caps.capacity(t, v));
+  }
+  EXPECT_FALSE(degraded.has_overrides());
+}
+
+TEST(Faults, FullFailureLeavesTheFloor) {
+  FatTreeTopology t(32);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(2);
+  FaultReport report;
+  const auto degraded = inject_wire_faults(t, caps, 1.0, rng, &report);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(degraded.capacity(t, v), 1u);
+  }
+  EXPECT_EQ(report.wires_after, t.num_nodes());
+}
+
+TEST(Faults, SurvivalRateTracksProbability) {
+  FatTreeTopology t(1024);
+  const auto caps = CapacityProfile::universal(t, 256);
+  Rng rng(3);
+  FaultReport report;
+  inject_wire_faults(t, caps, 0.25, rng, &report);
+  // With thousands of wires, survivors concentrate near 75% (the 1-wire
+  // floor pushes the rate slightly up).
+  EXPECT_NEAR(report.survival_rate(), 0.75, 0.08);
+}
+
+TEST(Faults, DegradedCapacitiesNeverExceedOriginal) {
+  FatTreeTopology t(128);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng rng(4);
+  const auto degraded = inject_wire_faults(t, caps, 0.3, rng);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_LE(degraded.capacity(t, v), caps.capacity(t, v));
+    EXPECT_GE(degraded.capacity(t, v), 1u);
+  }
+}
+
+TEST(Faults, DeterministicForSameSeed) {
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng r1(7), r2(7);
+  const auto a = inject_wire_faults(t, caps, 0.2, r1);
+  const auto b = inject_wire_faults(t, caps, 0.2, r2);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(a.capacity(t, v), b.capacity(t, v));
+  }
+}
+
+TEST(Faults, SchedulerStaysCorrectUnderFaults) {
+  // The key robustness property: the Theorem 1 machinery needs no change;
+  // the degraded capacities just raise λ.
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng frng(11);
+  const auto degraded = inject_wire_faults(t, caps, 0.3, frng);
+  Rng grng(13);
+  for (const auto& wl : standard_workloads(n, grng)) {
+    const auto s = schedule_offline(t, degraded, wl.messages);
+    EXPECT_TRUE(verify_schedule(t, degraded, wl.messages, s)) << wl.name;
+  }
+}
+
+TEST(Faults, GracefulDegradationOfCycleCount) {
+  // More faults -> no fewer cycles, and moderate damage costs only a
+  // moderate factor (no cliff): the Section VII robustness claim.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 64);
+  Rng wrng(17);
+  const auto m = stacked_permutations(n, 4, wrng);
+  const auto base = schedule_offline(t, caps, m).num_cycles();
+
+  std::size_t prev = base;
+  for (double p : {0.1, 0.3, 0.5}) {
+    Rng frng(19);
+    const auto degraded = inject_wire_faults(t, caps, p, frng);
+    const auto cycles = schedule_offline(t, degraded, m).num_cycles();
+    EXPECT_GE(cycles + 1, prev) << p;  // monotone-ish (+1 noise slack)
+    prev = cycles;
+  }
+  Rng frng(19);
+  const auto degraded = inject_wire_faults(t, caps, 0.3, frng);
+  const auto cycles = schedule_offline(t, degraded, m).num_cycles();
+  EXPECT_LE(cycles, 4 * base) << "30% wire loss must not cost 4x";
+}
+
+TEST(Faults, OnlineRouterHonoursOverrides) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  // Cripple the root's left channel to one wire.
+  const auto degraded = caps.with_channel_capacity(t, 2, 1);
+  Rng wrng(23);
+  const auto m = complement_traffic(n);
+  Rng r1(29), r2(29);
+  const auto healthy = route_online(t, caps, m, r1);
+  const auto hurt = route_online(t, degraded, m, r2);
+  EXPECT_GT(hurt.delivery_cycles, healthy.delivery_cycles);
+  // Still delivers everything.
+  std::uint64_t delivered = 0;
+  for (auto d : hurt.delivered_per_cycle) delivered += d;
+  EXPECT_EQ(delivered, m.size());
+}
+
+TEST(Faults, FailRandomChannelsCountsDamage) {
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::universal(t, 64);
+  Rng rng(31);
+  FaultReport report;
+  const auto degraded = fail_random_channels(t, caps, 10, rng, &report);
+  EXPECT_LE(report.channels_at_floor, 10u);
+  std::uint32_t at_one = 0;
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    if (degraded.capacity(t, v) == 1 && caps.capacity(t, v) > 1) ++at_one;
+  }
+  EXPECT_EQ(at_one, report.channels_at_floor);
+}
+
+TEST(Faults, LoadFactorRisesWithDamage) {
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 64);
+  Rng wrng(37);
+  const auto m = stacked_permutations(n, 2, wrng);
+  const double base = load_factor(t, caps, m);
+  Rng frng(41);
+  const auto degraded = inject_wire_faults(t, caps, 0.4, frng);
+  EXPECT_GT(load_factor(t, degraded, m), base);
+}
+
+TEST(Faults, OverrideAccessorRoundTrip) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::universal(t, 8);
+  const auto mod = caps.with_channel_capacity(t, 5, 3);
+  EXPECT_TRUE(mod.has_overrides());
+  EXPECT_EQ(mod.capacity(t, 5), 3u);
+  EXPECT_EQ(mod.capacity(t, 4), caps.capacity(t, 4));
+  // Chaining keeps earlier overrides.
+  const auto mod2 = mod.with_channel_capacity(t, 7, 2);
+  EXPECT_EQ(mod2.capacity(t, 5), 3u);
+  EXPECT_EQ(mod2.capacity(t, 7), 2u);
+}
+
+}  // namespace
+}  // namespace ft

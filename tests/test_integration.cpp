@@ -1,0 +1,162 @@
+// End-to-end integration tests tying the layers together: workloads ->
+// scheduler -> bit-serial hardware; volume -> fat-tree sizing ->
+// universality; and the paper's headline qualitative claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/online_router.hpp"
+#include "core/reuse_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "layout/vlsi_model.hpp"
+#include "nets/builders.hpp"
+#include "nets/layouts.hpp"
+#include "sim/universality.hpp"
+#include "switch/bitserial.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Integration, ScheduleThenTransmitEveryWorkload) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  BitSerialSimulator sim(t, caps);
+  Rng rng(1);
+  for (const auto& wl : standard_workloads(n, rng)) {
+    const auto schedule = schedule_offline(t, caps, wl.messages);
+    ASSERT_TRUE(verify_schedule(t, caps, wl.messages, schedule)) << wl.name;
+    std::size_t delivered = 0;
+    for (const auto& cycle : schedule.cycles) {
+      const auto r = sim.run_cycle(cycle);
+      EXPECT_EQ(r.lost, 0u) << wl.name;
+      delivered += r.num_delivered;
+    }
+    EXPECT_EQ(delivered, wl.messages.size()) << wl.name;
+  }
+}
+
+TEST(Integration, OfflineBeatsOnlineOnCycleCount) {
+  // The off-line scheduler knows the future; it should use no more cycles
+  // than the lossy on-line router on contended traffic.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(3);
+  const auto m = stacked_permutations(n, 8, gen);
+  const auto offline = schedule_offline(t, caps, m);
+  Rng rng(5);
+  const auto online = route_online(t, caps, m, rng);
+  EXPECT_LE(offline.num_cycles(),
+            static_cast<std::size_t>(online.delivery_cycles) * 2 + 8);
+}
+
+TEST(Integration, FatterTreesNeedFewerCycles) {
+  // Scaling communication hardware (root capacity) down gracefully
+  // degrades delivery time — the robustness claim of Section VII.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  Rng gen(7);
+  const auto m = stacked_permutations(n, 4, gen);
+  std::size_t prev = SIZE_MAX;
+  for (std::uint64_t w : {16ull, 64ull, 256ull}) {
+    const auto caps = CapacityProfile::universal(t, w);
+    const auto s = schedule_offline(t, caps, m);
+    EXPECT_TRUE(verify_schedule(t, caps, m, s));
+    EXPECT_LE(s.num_cycles(), prev);
+    prev = s.num_cycles();
+  }
+}
+
+TEST(Integration, FemWorkloadNeedsOnlySmallFatTree) {
+  // The introduction's point: planar finite-element traffic has O(sqrt n)
+  // bisection, so a fat-tree with root capacity ~sqrt(n) routes it in a
+  // handful of cycles — no hypercube-sized hardware needed.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto m = fem_halo_traffic(16, 16);
+  const auto small = CapacityProfile::universal(t, 16);  // w = sqrt n
+  const double lambda = load_factor(t, small, m);
+  EXPECT_LE(lambda, 12.0);  // row-major vertical halos cost a constant
+  const auto s = schedule_offline(t, small, m);
+  EXPECT_TRUE(verify_schedule(t, small, m, s));
+  EXPECT_LE(s.num_cycles(), 48u);
+  // And the hardware saving is real: volume ratio vs full fat-tree.
+  const double small_vol = universal_fat_tree_volume(n, 16);
+  const double full_vol = universal_fat_tree_volume(n, n);
+  EXPECT_LT(small_vol, 0.25 * full_vol);
+}
+
+TEST(Integration, ComplementTrafficPunishesSmallTrees) {
+  // The flip side: bisection-heavy traffic on a thin tree pays linearly.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto m = complement_traffic(n);
+  const auto thin = CapacityProfile::universal(t, 16);
+  const auto fat = CapacityProfile::universal(t, 256);
+  const auto s_thin = schedule_offline(t, thin, m);
+  const auto s_fat = schedule_offline(t, fat, m);
+  EXPECT_GT(s_thin.num_cycles(), 4 * s_fat.num_cycles());
+}
+
+TEST(Integration, ReuseMatchesOfflineValidity) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 32);
+  Rng gen(11);
+  const auto m = stacked_permutations(n, 10, gen);
+  const auto a = schedule_offline(t, caps, m);
+  const auto b = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, a));
+  EXPECT_TRUE(verify_schedule(t, caps, m, b.schedule));
+  // Corollary 2 should stay within a small constant of Theorem 1 on fat
+  // channels (power-of-two rounding costs up to 2x, slack another ~2x).
+  EXPECT_LE(b.schedule.num_cycles(), 4 * a.num_cycles() + 8);
+}
+
+TEST(Integration, UniversalitySlowdownGrowsPolylog) {
+  // Measure slowdown at two sizes; the growth must look polylog, not
+  // polynomial (ratio far below the size ratio).
+  Rng gen(13);
+  const auto m6 = random_permutation_traffic(64, gen);
+  const auto m8 = random_permutation_traffic(256, gen);
+  const auto r6 = simulate_network_on_fattree(build_hypercube(6),
+                                              layout_hypercube(64), m6);
+  const auto r8 = simulate_network_on_fattree(build_hypercube(8),
+                                              layout_hypercube(256), m8);
+  ASSERT_GT(r6.slowdown, 0.0);
+  const double growth = r8.slowdown / r6.slowdown;
+  EXPECT_LT(growth, 4.0);  // (lg 256 / lg 64)^3 ≈ 2.37; 4x allows noise
+}
+
+TEST(Integration, EqualVolumeComparisonUsesTheInversion) {
+  // The fat-tree simulating a hypercube of volume n^{3/2} gets root
+  // capacity ~ v^{2/3}/lg(...) = ~n/lg n — large but below n.
+  const std::uint32_t n = 256;
+  const auto w = root_capacity_for_volume(n, hypercube_volume(n));
+  EXPECT_GT(w, n / 32);
+  EXPECT_LE(w, n);
+}
+
+TEST(Integration, PartialConcentratorEndToEnd) {
+  // Full stack with Section IV hardware: schedule off-line, transmit with
+  // partial concentrators, retry losses, and still finish quickly.
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  BitSerialOptions opts;
+  opts.concentrators = ConcentratorKind::Partial;
+  BitSerialSimulator sim(t, caps, opts);
+  Rng gen(17);
+  const auto m = random_permutation_traffic(n, gen);
+  const auto r = sim.run_until_delivered(m);
+  const double lambda = load_factor(t, caps, m);
+  EXPECT_LE(static_cast<double>(r.delivery_cycles),
+            16.0 * (lambda + std::log2(n)));
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,79 @@
+#include "core/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/offline_scheduler.hpp"
+#include "core/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Io, MessageSetRoundTrip) {
+  Rng rng(1);
+  const auto m = uniform_random_traffic(64, 100, rng);
+  std::stringstream ss;
+  write_message_set(ss, m);
+  const auto back = read_message_set(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Io, EmptyMessageSet) {
+  std::stringstream ss;
+  write_message_set(ss, {});
+  const auto back = read_message_set(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Io, ScheduleRoundTrip) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(3);
+  const auto m = stacked_permutations(n, 3, rng);
+  const auto s = schedule_offline(t, caps, m);
+  std::stringstream ss;
+  write_schedule(ss, s);
+  const auto back = read_schedule(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_cycles(), s.num_cycles());
+  for (std::size_t c = 0; c < s.num_cycles(); ++c) {
+    EXPECT_EQ(back->cycles[c], s.cycles[c]);
+  }
+  // The reloaded compiled settings still verify.
+  EXPECT_TRUE(verify_schedule(t, caps, m, *back));
+}
+
+TEST(Io, RejectsBadHeader) {
+  std::stringstream ss("bogus 3\n1 2\n");
+  EXPECT_FALSE(read_message_set(ss).has_value());
+  std::stringstream ss2("schedul 1\ncycle 0\n");
+  EXPECT_FALSE(read_schedule(ss2).has_value());
+}
+
+TEST(Io, RejectsTruncatedBody) {
+  std::stringstream ss("messages 3\n1 2\n3 4\n");
+  EXPECT_FALSE(read_message_set(ss).has_value());
+  std::stringstream ss2("schedule 2\ncycle 1\n0 1\n");
+  EXPECT_FALSE(read_schedule(ss2).has_value());
+}
+
+TEST(Io, ScheduleWithEmptyCycles) {
+  Schedule s;
+  s.cycles.resize(3);
+  s.cycles[1].push_back({5, 9});
+  std::stringstream ss;
+  write_schedule(ss, s);
+  const auto back = read_schedule(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_cycles(), 3u);
+  EXPECT_TRUE(back->cycles[0].empty());
+  EXPECT_EQ(back->cycles[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,75 @@
+#include "nets/layouts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ft {
+namespace {
+
+void expect_valid_layout(const Layout3D& layout, std::size_t n) {
+  ASSERT_EQ(layout.num_processors(), n);
+  std::set<std::tuple<double, double, double>> seen;
+  for (const auto& p : layout.positions) {
+    EXPECT_TRUE(layout.bounds.contains(p));
+    EXPECT_TRUE(seen.insert({p.x, p.y, p.z}).second) << "duplicate position";
+  }
+}
+
+TEST(Layouts, SpreadLayoutDistinctAndInBounds) {
+  expect_valid_layout(spread_layout(100, 10, 10, 10), 100);
+  expect_valid_layout(spread_layout(1, 1, 1, 1), 1);
+  expect_valid_layout(spread_layout(64, 64, 1, 1), 64);
+}
+
+TEST(Layouts, SpreadLayoutFullOccupancy) {
+  // n == cells: every cell used exactly once.
+  const auto layout = spread_layout(8, 2, 2, 2);
+  expect_valid_layout(layout, 8);
+}
+
+TEST(Layouts, Mesh2dVolumeEqualsN) {
+  const auto layout = layout_mesh2d(8, 8);
+  EXPECT_DOUBLE_EQ(layout.volume(), 64.0);
+  expect_valid_layout(layout, 64);
+}
+
+TEST(Layouts, Mesh3dNaturalCube) {
+  const auto layout = layout_mesh3d(4, 4, 4);
+  EXPECT_DOUBLE_EQ(layout.volume(), 64.0);
+  expect_valid_layout(layout, 64);
+}
+
+TEST(Layouts, HypercubeVolumeScalesAsN32) {
+  for (std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto layout = layout_hypercube(n);
+    expect_valid_layout(layout, n);
+    const double expect = std::pow(static_cast<double>(n), 1.5);
+    EXPECT_NEAR(layout.volume() / expect, 1.0, 0.3) << n;
+  }
+}
+
+TEST(Layouts, TreeOfMeshesVolumeScalesAsNLogN) {
+  for (std::uint32_t n : {64u, 256u}) {
+    const auto layout = layout_tree_of_meshes(n);
+    expect_valid_layout(layout, n);
+    const double expect = n * (std::log2(n) + 1);
+    EXPECT_NEAR(layout.volume() / expect, 1.0, 0.35) << n;
+  }
+}
+
+TEST(Layouts, BinaryTreeFlatSlab) {
+  const auto layout = layout_binary_tree(64);
+  expect_valid_layout(layout, 64);
+  EXPECT_DOUBLE_EQ(layout.bounds.side(2), 1.0);
+}
+
+TEST(Layouts, ButterflyAndShuffleShareVolumeClass) {
+  const auto b = layout_butterfly(256);
+  const auto s = layout_shuffle_exchange(256);
+  EXPECT_DOUBLE_EQ(b.volume(), s.volume());
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,138 @@
+#include "core/load.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Load, EmptySetIsZero) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::doubling(t);
+  EXPECT_EQ(load_factor(t, caps, MessageSet{}), 0.0);
+  EXPECT_TRUE(is_one_cycle(t, caps, MessageSet{}));
+}
+
+TEST(Load, SingleMessagePath) {
+  FatTreeTopology t(8);
+  const MessageSet m{{0, 7}};  // through the root
+  const auto loads = compute_loads(t, m);
+  // Up channels above leaf 0's ancestors below the root.
+  EXPECT_EQ(loads.up[t.node_of_leaf(0)], 1u);
+  EXPECT_EQ(loads.up[4], 1u);
+  EXPECT_EQ(loads.up[2], 1u);
+  EXPECT_EQ(loads.up[1], 0u);  // never exits the root upward
+  // Down channels on leaf 7's side.
+  EXPECT_EQ(loads.down[t.node_of_leaf(7)], 1u);
+  EXPECT_EQ(loads.down[7], 1u);
+  EXPECT_EQ(loads.down[3], 1u);
+  // Nothing on unrelated channels.
+  EXPECT_EQ(loads.up[t.node_of_leaf(3)], 0u);
+  EXPECT_EQ(loads.down[t.node_of_leaf(2)], 0u);
+}
+
+TEST(Load, SelfMessagesLoadNothing) {
+  FatTreeTopology t(8);
+  const MessageSet m{{3, 3}, {5, 5}};
+  const auto loads = compute_loads(t, m);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(loads.up[v], 0u);
+    EXPECT_EQ(loads.down[v], 0u);
+  }
+}
+
+TEST(Load, ComplementTrafficSaturatesEveryCut) {
+  // p -> p XOR (n-1): every message crosses the root; the channel above
+  // any node carries exactly subtree_size messages in each direction.
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto m = complement_traffic(n);
+  const auto loads = compute_loads(t, m);
+  for (NodeId v = 2; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(loads.up[v], t.subtree_size(v)) << "node " << v;
+    EXPECT_EQ(loads.down[v], t.subtree_size(v)) << "node " << v;
+  }
+}
+
+TEST(Load, ComplementLoadFactorOnFullFatTree) {
+  // Full fat-tree (w = n): capacity equals subtree size at every level, so
+  // the complement permutation has load factor exactly 1.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::doubling(t);
+  EXPECT_DOUBLE_EQ(load_factor(t, caps, complement_traffic(n)), 1.0);
+  EXPECT_TRUE(is_one_cycle(t, caps, complement_traffic(n)));
+}
+
+TEST(Load, ComplementLoadFactorOnSkinnyTree) {
+  // Constant capacity 1: root channels carry n/2 messages each direction.
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 1);
+  EXPECT_DOUBLE_EQ(load_factor(t, caps, complement_traffic(n)),
+                   static_cast<double>(n) / 2.0);
+}
+
+TEST(Load, LoadFactorScalesWithStacking) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  const auto one = complement_traffic(n);
+  MessageSet three;
+  for (int i = 0; i < 3; ++i) three.insert(three.end(), one.begin(), one.end());
+  EXPECT_DOUBLE_EQ(load_factor(t, caps, three),
+                   3.0 * load_factor(t, caps, one));
+}
+
+TEST(Load, LocalTrafficLoadsOnlyLowLevels) {
+  // Radius-1 traffic never needs high channels beyond small subtrees.
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  Rng rng(5);
+  const auto m = local_traffic(n, 1, rng);
+  const auto loads = compute_loads(t, m);
+  // The root channel of each half carries at most the messages crossing
+  // the midpoint (wrap + middle): a handful, not Θ(n).
+  EXPECT_LE(loads.up[2], 4u);
+  EXPECT_LE(loads.up[3], 4u);
+}
+
+TEST(Load, BottleneckChannelIsMaximal) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(7);
+  const auto m = hotspot_traffic(n, 0.5, 10, rng);
+  const auto c = bottleneck_channel(t, caps, m);
+  const auto loads = compute_loads(t, m);
+  const double lambda = load_factor(t, caps, m);
+  const double at_c = static_cast<double>(loads.get(c)) /
+                      static_cast<double>(caps.capacity(t, c.node));
+  EXPECT_DOUBLE_EQ(at_c, lambda);
+  // A heavy hotspot's bottleneck is a down channel toward the hot leaf.
+  EXPECT_EQ(c.dir, Direction::Down);
+  EXPECT_TRUE(t.leaf_in_subtree(10, c.node));
+}
+
+TEST(Load, LoadMapAccessorMatchesArrays) {
+  FatTreeTopology t(8);
+  const MessageSet m{{0, 7}, {1, 6}};
+  const auto loads = compute_loads(t, m);
+  EXPECT_EQ(loads.get(ChannelId{2, Direction::Up}), loads.up[2]);
+  EXPECT_EQ(loads.get(ChannelId{3, Direction::Down}), loads.down[3]);
+}
+
+TEST(Load, PrecomputedLoadsMatchDirect) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng rng(11);
+  const auto m = uniform_random_traffic(n, 500, rng);
+  EXPECT_DOUBLE_EQ(load_factor(t, caps, m),
+                   load_factor(t, caps, compute_loads(t, m)));
+}
+
+}  // namespace
+}  // namespace ft

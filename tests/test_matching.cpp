@@ -1,0 +1,137 @@
+#include "switch/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Matching, EmptyGraph) {
+  BipartiteGraph g(3, 3);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 0u);
+  for (auto v : m.match_left) EXPECT_EQ(v, -1);
+}
+
+TEST(Matching, PerfectOnIdentity) {
+  BipartiteGraph g(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) g.add_edge(i, i);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.match_left[i], static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(Matching, AugmentingPathNeeded) {
+  // l0-{r0}, l1-{r0,r1}: greedy l0->r0 must be augmented for l1.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 2u);
+}
+
+TEST(Matching, HallViolationLimitsSize) {
+  // Three left vertices all adjacent only to one right vertex.
+  BipartiteGraph g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) g.add_edge(i, 1);
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 1u);
+}
+
+TEST(Matching, CompleteBipartite) {
+  BipartiteGraph g(6, 4);
+  for (std::size_t l = 0; l < 6; ++l) {
+    for (std::size_t r = 0; r < 4; ++r) g.add_edge(l, r);
+  }
+  const auto m = hopcroft_karp(g);
+  EXPECT_EQ(m.size, 4u);  // limited by the right side
+}
+
+TEST(Matching, MatchingIsConsistent) {
+  Rng rng(1);
+  BipartiteGraph g(50, 40);
+  for (std::size_t l = 0; l < 50; ++l) {
+    for (int e = 0; e < 4; ++e) {
+      g.add_edge(l, rng.below(40));
+    }
+  }
+  const auto m = hopcroft_karp(g);
+  // match_left and match_right are mutually inverse and edges exist.
+  std::size_t count = 0;
+  for (std::size_t l = 0; l < 50; ++l) {
+    if (m.match_left[l] < 0) continue;
+    ++count;
+    const auto r = static_cast<std::size_t>(m.match_left[l]);
+    EXPECT_EQ(m.match_right[r], static_cast<std::int32_t>(l));
+    bool has_edge = false;
+    for (auto v : g.neighbors(l)) {
+      if (v == r) has_edge = true;
+    }
+    EXPECT_TRUE(has_edge);
+  }
+  EXPECT_EQ(count, m.size);
+}
+
+TEST(Matching, SubsetRestrictsLeftSide) {
+  BipartiteGraph g(4, 2);
+  for (std::size_t l = 0; l < 4; ++l) {
+    g.add_edge(l, 0);
+    g.add_edge(l, 1);
+  }
+  const auto m = hopcroft_karp_subset(g, {2});
+  EXPECT_EQ(m.size, 1u);
+  EXPECT_EQ(m.match_left[0], -1);
+  EXPECT_EQ(m.match_left[1], -1);
+  EXPECT_GE(m.match_left[2], 0);
+  EXPECT_EQ(m.match_left[3], -1);
+}
+
+TEST(Matching, SubsetMaximum) {
+  BipartiteGraph g(6, 6);
+  for (std::size_t l = 0; l < 6; ++l) g.add_edge(l, (l + 1) % 6);
+  const auto m = hopcroft_karp_subset(g, {0, 2, 4});
+  EXPECT_EQ(m.size, 3u);  // disjoint right targets 1, 3, 5
+}
+
+TEST(Matching, MaximumAgainstBruteForceOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nl = 1 + rng.below(6);
+    const std::size_t nr = 1 + rng.below(6);
+    BipartiteGraph g(nl, nr);
+    std::vector<std::vector<std::uint8_t>> adj(nl,
+                                               std::vector<std::uint8_t>(nr));
+    for (std::size_t l = 0; l < nl; ++l) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (rng.chance(0.4)) {
+          g.add_edge(l, r);
+          adj[l][r] = 1;
+        }
+      }
+    }
+    // Brute force maximum matching over subsets of right assignments.
+    std::size_t best = 0;
+    std::vector<std::int32_t> right_used(nr, -1);
+    auto dfs = [&](auto&& self, std::size_t l, std::size_t matched) -> void {
+      best = std::max(best, matched);
+      if (l == nl) return;
+      self(self, l + 1, matched);
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (adj[l][r] && right_used[r] < 0) {
+          right_used[r] = static_cast<std::int32_t>(l);
+          self(self, l + 1, matched + 1);
+          right_used[r] = -1;
+        }
+      }
+    };
+    dfs(dfs, 0, 0);
+    EXPECT_EQ(hopcroft_karp(g).size, best) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,79 @@
+#include "switch/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft {
+namespace {
+
+TEST(Selector, TruthTable) {
+  // Fig. 3: the M bit ANDed with the address bit (or its complement)
+  // produces the per-branch M bits.
+  EXPECT_EQ(Selector::select(false, false), std::make_pair(false, false));
+  EXPECT_EQ(Selector::select(false, true), std::make_pair(false, false));
+  EXPECT_EQ(Selector::select(true, false), std::make_pair(true, false));
+  EXPECT_EQ(Selector::select(true, true), std::make_pair(false, true));
+}
+
+TEST(LevelSwitch, PortWidths) {
+  Rng rng(1);
+  LevelSwitch sw(8, 5, ConcentratorKind::Ideal, rng);
+  EXPECT_EQ(sw.parent_capacity(), 8u);
+  EXPECT_EQ(sw.child_capacity(), 5u);
+  EXPECT_EQ(sw.up().num_inputs(), 10u);   // 2 * child
+  EXPECT_EQ(sw.up().num_outputs(), 8u);   // parent
+  EXPECT_EQ(sw.down().num_inputs(), 13u);  // parent + child
+  EXPECT_EQ(sw.down().num_outputs(), 5u);  // child
+}
+
+TEST(LevelSwitch, InputIndexing) {
+  Rng rng(2);
+  LevelSwitch sw(4, 3, ConcentratorKind::Ideal, rng);
+  EXPECT_EQ(sw.up_input_from_child(false, 0), 0u);
+  EXPECT_EQ(sw.up_input_from_child(false, 2), 2u);
+  EXPECT_EQ(sw.up_input_from_child(true, 0), 3u);
+  EXPECT_EQ(sw.up_input_from_child(true, 2), 5u);
+  EXPECT_EQ(sw.down_input_from_parent(3), 3u);
+  EXPECT_EQ(sw.down_input_from_sibling(0), 4u);
+  EXPECT_EQ(sw.down_input_from_sibling(2), 6u);
+}
+
+TEST(LevelSwitch, IndexSpacesAreDisjoint) {
+  Rng rng(3);
+  LevelSwitch sw(6, 4, ConcentratorKind::Ideal, rng);
+  // Up port: left wires [0,4), right wires [4,8) — never overlapping.
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_LT(sw.up_input_from_child(false, w), 4u);
+    EXPECT_GE(sw.up_input_from_child(true, w), 4u);
+    EXPECT_LT(sw.up_input_from_child(true, w), sw.up().num_inputs());
+  }
+  // Down port: parent region [0,6), sibling region [6,10).
+  for (std::uint32_t w = 0; w < 6; ++w) {
+    EXPECT_LT(sw.down_input_from_parent(w), 6u);
+  }
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    EXPECT_GE(sw.down_input_from_sibling(w), 6u);
+    EXPECT_LT(sw.down_input_from_sibling(w), sw.down().num_inputs());
+  }
+}
+
+TEST(LevelSwitch, PartialKindBuildsCascades) {
+  Rng rng(4);
+  LevelSwitch sw(8, 16, ConcentratorKind::Partial, rng);
+  // Up: 32 -> 8 needs multiple stages; cascade respects widths.
+  EXPECT_EQ(sw.up().num_inputs(), 32u);
+  EXPECT_EQ(sw.up().num_outputs(), 8u);
+  const auto out = sw.up().route({0, 5, 17, 31});
+  for (auto w : out) {
+    EXPECT_LT(w, 8);
+  }
+}
+
+TEST(LevelSwitch, ComponentCountScalesWithWires) {
+  Rng rng(5);
+  LevelSwitch small(2, 2, ConcentratorKind::Ideal, rng);
+  LevelSwitch big(64, 64, ConcentratorKind::Ideal, rng);
+  EXPECT_GT(big.component_count(), 16 * small.component_count());
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,139 @@
+#include "core/online_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/load.hpp"
+#include "core/traffic.hpp"
+
+namespace ft {
+namespace {
+
+TEST(OnlineRouter, EmptySet) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::doubling(t);
+  Rng rng(1);
+  const auto r = route_online(t, caps, {}, rng);
+  EXPECT_EQ(r.delivery_cycles, 0u);
+  EXPECT_EQ(r.total_losses, 0u);
+}
+
+TEST(OnlineRouter, SelfMessagesTakeOneCycle) {
+  FatTreeTopology t(8);
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng rng(2);
+  const auto r = route_online(t, caps, {{3, 3}, {4, 4}}, rng);
+  EXPECT_EQ(r.delivery_cycles, 1u);
+}
+
+TEST(OnlineRouter, OneCycleSetOnFullTreeNeedsOneCycle) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::doubling(t);
+  Rng rng(3);
+  const auto r = route_online(t, caps, complement_traffic(n), rng);
+  EXPECT_EQ(r.delivery_cycles, 1u);
+  EXPECT_EQ(r.total_losses, 0u);
+}
+
+TEST(OnlineRouter, DeliversEverything) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng base(5);
+  for (const auto& wl : standard_workloads(n, base)) {
+    Rng rng(7);
+    const auto r = route_online(t, caps, wl.messages, rng);
+    std::uint64_t delivered = 0;
+    for (auto d : r.delivered_per_cycle) delivered += d;
+    EXPECT_EQ(delivered, wl.messages.size()) << wl.name;
+  }
+}
+
+TEST(OnlineRouter, CyclesAtLeastLoadFactor) {
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 64);
+  Rng gen(11);
+  const auto m = stacked_permutations(n, 6, gen);
+  const double lambda = load_factor(t, caps, m);
+  Rng rng(13);
+  const auto r = route_online(t, caps, m, rng);
+  EXPECT_GE(static_cast<double>(r.delivery_cycles), std::floor(lambda));
+}
+
+TEST(OnlineRouter, CyclesWithinTheoreticalEnvelope) {
+  // Extension [8]: O(λ + lg n · lg lg n) w.h.p.; we allow a generous
+  // constant for the envelope check.
+  const std::uint32_t n = 512;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 128);
+  Rng gen(17);
+  const auto m = stacked_permutations(n, 4, gen);
+  const double lambda = load_factor(t, caps, m);
+  const double lgn = std::log2(static_cast<double>(n));
+  Rng rng(19);
+  const auto r = route_online(t, caps, m, rng);
+  EXPECT_LE(static_cast<double>(r.delivery_cycles),
+            8.0 * (lambda + lgn * std::log2(lgn)) + 8.0);
+}
+
+TEST(OnlineRouter, DeterministicForSameSeed) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(23);
+  const auto m = stacked_permutations(n, 3, gen);
+  Rng r1(99), r2(99);
+  const auto a = route_online(t, caps, m, r1);
+  const auto b = route_online(t, caps, m, r2);
+  EXPECT_EQ(a.delivery_cycles, b.delivery_cycles);
+  EXPECT_EQ(a.total_losses, b.total_losses);
+  EXPECT_EQ(a.delivered_per_cycle, b.delivered_per_cycle);
+}
+
+TEST(OnlineRouter, PartialConcentratorAlphaStillDelivers) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(29);
+  const auto m = stacked_permutations(n, 2, gen);
+  Rng rng(31);
+  OnlineRouterOptions opts;
+  opts.alpha = 0.75;
+  const auto r = route_online(t, caps, m, rng, opts);
+  std::uint64_t delivered = 0;
+  for (auto d : r.delivered_per_cycle) delivered += d;
+  EXPECT_EQ(delivered, m.size());
+}
+
+TEST(OnlineRouter, LossesAccountedConsistently) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng gen(37);
+  const auto m = stacked_permutations(n, 2, gen);
+  Rng rng(41);
+  const auto r = route_online(t, caps, m, rng);
+  // attempts = deliveries + losses (each attempt either arrives or dies).
+  std::uint64_t delivered = 0;
+  for (auto d : r.delivered_per_cycle) delivered += d;
+  EXPECT_EQ(r.total_attempts, delivered + r.total_losses);
+}
+
+TEST(OnlineRouter, HigherContentionMoreCycles) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(43);
+  const auto light = stacked_permutations(n, 1, gen);
+  const auto heavy = stacked_permutations(n, 12, gen);
+  Rng r1(47), r2(47);
+  const auto a = route_online(t, caps, light, r1);
+  const auto b = route_online(t, caps, heavy, r2);
+  EXPECT_LT(a.delivery_cycles, b.delivery_cycles);
+}
+
+}  // namespace
+}  // namespace ft

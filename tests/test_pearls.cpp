@@ -1,0 +1,175 @@
+#include "layout/pearls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+std::vector<std::uint8_t> random_line(std::size_t len, double p_black,
+                                      Rng& rng) {
+  std::vector<std::uint8_t> line(len);
+  for (auto& b : line) b = rng.chance(p_black) ? 1 : 0;
+  return line;
+}
+
+void expect_lemma6(const std::vector<Segment>& strings,
+                   const std::vector<std::uint64_t>& prefix) {
+  std::uint64_t blacks = 0, pearls = 0;
+  for (const auto& s : strings) {
+    blacks += blacks_in(prefix, s);
+    pearls += s.length();
+  }
+  const auto split = split_pearls(strings, prefix);
+  // At most two strings per side.
+  EXPECT_LE(split.side_a.size(), 2u);
+  EXPECT_LE(split.side_b.size(), 2u);
+  // Each color halves (within one).
+  EXPECT_LE(split.blacks_a, (blacks + 1) / 2);
+  EXPECT_LE(split.blacks_b, (blacks + 1) / 2);
+  EXPECT_EQ(split.blacks_a + split.blacks_b, blacks);
+  std::uint64_t pa = 0, pb = 0;
+  for (const auto& s : split.side_a) pa += s.length();
+  for (const auto& s : split.side_b) pb += s.length();
+  EXPECT_EQ(pa + pb, pearls);
+  EXPECT_LE(pa > pb ? pa - pb : pb - pa, 1u);
+  // Whites halve too (pearls and blacks both halve).
+  const std::uint64_t whites_a = pa - split.blacks_a;
+  const std::uint64_t whites = pearls - blacks;
+  EXPECT_LE(whites_a, (whites + 1) / 2 + 1);
+  // Segments stay within the input strings and do not overlap.
+  auto inside = [&](const Segment& s) {
+    for (const auto& in : strings) {
+      if (s.begin >= in.begin && s.end <= in.end) return true;
+    }
+    return false;
+  };
+  for (const auto& s : split.side_a) EXPECT_TRUE(inside(s));
+  for (const auto& s : split.side_b) EXPECT_TRUE(inside(s));
+}
+
+TEST(Pearls, PrefixSums) {
+  const std::vector<std::uint8_t> line{1, 0, 1, 1, 0};
+  const auto prefix = black_prefix_sums(line);
+  EXPECT_EQ(prefix[0], 0u);
+  EXPECT_EQ(prefix[5], 3u);
+  EXPECT_EQ(blacks_in(prefix, Segment{1, 4}), 2u);
+}
+
+TEST(Pearls, SingleStringPrefixHeavy) {
+  const std::vector<std::uint8_t> line{1, 1, 0, 0};
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 4}}, prefix);
+}
+
+TEST(Pearls, SingleStringSuffixHeavy) {
+  // The case a naive prefix/suffix family misses: blacks split across
+  // both ends.
+  const std::vector<std::uint8_t> line{0, 0, 1, 1};
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 4}}, prefix);
+}
+
+TEST(Pearls, SingleStringMiddleBlacks) {
+  const std::vector<std::uint8_t> line{0, 1, 1, 1, 1, 0};
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 6}}, prefix);
+}
+
+TEST(Pearls, TwoStringsAdversarial) {
+  // Blacks concentrated past the half-size prefix of the long string.
+  std::vector<std::uint8_t> line(12, 0);
+  for (int i = 8; i < 12; ++i) line[i] = 1;  // string 2 tail
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 2}, Segment{2, 12}}, prefix);
+}
+
+TEST(Pearls, AllBlack) {
+  const std::vector<std::uint8_t> line(9, 1);
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 5}, Segment{5, 9}}, prefix);
+}
+
+TEST(Pearls, AllWhite) {
+  const std::vector<std::uint8_t> line(8, 0);
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 8}}, prefix);
+}
+
+TEST(Pearls, OddCounts) {
+  const std::vector<std::uint8_t> line{1, 0, 1, 0, 1};
+  const auto prefix = black_prefix_sums(line);
+  expect_lemma6({Segment{0, 5}}, prefix);
+}
+
+class PearlsRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PearlsRandomSweep, RandomNecklaces) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t len = 2 + rng.below(200);
+    const double density = rng.uniform();
+    const auto line = random_line(len, density, rng);
+    const auto prefix = black_prefix_sums(line);
+    if (len >= 4 && rng.chance(0.6)) {
+      // Two strings at a random junction.
+      const std::uint64_t cut = 1 + rng.below(len - 1);
+      expect_lemma6({Segment{0, cut}, Segment{cut, len}}, prefix);
+    } else {
+      expect_lemma6({Segment{0, len}}, prefix);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearlsRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(SubtreeForest, CoversExactly) {
+  for (std::uint64_t begin : {0ull, 1ull, 5ull, 13ull}) {
+    for (std::uint64_t end : {6ull, 16ull, 27ull, 32ull}) {
+      if (begin >= end) continue;
+      const auto blocks = maximal_complete_subtrees(begin, end, 5);
+      std::uint64_t pos = begin;
+      for (const auto& b : blocks) {
+        EXPECT_EQ(b.first_leaf, pos);
+        EXPECT_EQ(b.first_leaf % (1ull << b.height), 0u);  // aligned
+        pos += 1ull << b.height;
+      }
+      EXPECT_EQ(pos, end);
+    }
+  }
+}
+
+TEST(SubtreeForest, AtMostTwoPerHeight) {
+  for (std::uint64_t begin = 0; begin < 64; begin += 3) {
+    for (std::uint64_t end = begin + 1; end <= 64; end += 5) {
+      const auto blocks = maximal_complete_subtrees(begin, end, 6);
+      std::vector<int> per_height(7, 0);
+      for (const auto& b : blocks) ++per_height[b.height];
+      for (int c : per_height) EXPECT_LE(c, 2);
+    }
+  }
+}
+
+TEST(SubtreeForest, MaxHeightBound) {
+  // Lemma 7: the largest tree has height at most lg k for a k-leaf string.
+  const auto blocks = maximal_complete_subtrees(3, 3 + 10, 8);
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.height, 4u);  // lg 10 rounded up
+  }
+}
+
+TEST(SubtreeForest, WholeLineIsOneTree) {
+  const auto blocks = maximal_complete_subtrees(0, 32, 5);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].height, 5u);
+  EXPECT_EQ(blocks[0].first_leaf, 0u);
+}
+
+TEST(SubtreeForest, EmptyRange) {
+  EXPECT_TRUE(maximal_complete_subtrees(7, 7, 4).empty());
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,113 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ft {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BelowOneIsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, PermutationIsValid) {
+  Rng rng(13);
+  for (std::uint32_t n : {1u, 2u, 10u, 257u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::sort(p.begin(), p.end());
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Prng, PermutationIsShuffled) {
+  Rng rng(17);
+  const auto p = rng.permutation(100);
+  std::uint32_t fixed = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10u);  // expected ~1 fixed point
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Prng, ShuffleKeepsMultiset) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 2, 3, 3, 3};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace ft

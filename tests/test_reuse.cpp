@@ -1,0 +1,121 @@
+#include "core/reuse_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/load.hpp"
+#include "core/traffic.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(ReuseScheduler, EmptySet) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::constant(t, 16);
+  const auto r = schedule_reuse(t, caps, {});
+  EXPECT_EQ(r.schedule.num_cycles(), 0u);
+  EXPECT_EQ(r.repaired_messages, 0u);
+}
+
+TEST(ReuseScheduler, ValidOnFatChannels) {
+  // Corollary 2 premise: every channel has capacity >= a·lg n. With
+  // a > 2 and the default slack 2·lg n, the repair pass must be idle.
+  const std::uint32_t n = 256;  // lg n = 8
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 32);  // a = 4
+  Rng rng(1);
+  const auto m = stacked_permutations(n, 8, rng);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, r.schedule));
+  EXPECT_EQ(r.repaired_messages, 0u);
+}
+
+TEST(ReuseScheduler, RemovesLogFactor) {
+  // With fat channels, the cycle count is O(λ), independent of lg n — the
+  // point of Corollary 2. Theorem 1 alone would allow a lg n factor.
+  const std::uint32_t n = 1024;  // lg n = 10
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 64);
+  Rng rng(3);
+  const auto m = stacked_permutations(n, 16, rng);
+  const double lambda = load_factor(t, caps, m);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, r.schedule));
+  // Power-of-two rounding of 2λ' with λ' = (a/(a-2))·λ-ish: allow 8λ.
+  EXPECT_LE(static_cast<double>(r.schedule.num_cycles()),
+            8.0 * std::max(1.0, lambda) + 1.0);
+}
+
+TEST(ReuseScheduler, FictitiousLoadFactorAtLeastTrue) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 24);
+  Rng rng(5);
+  const auto m = stacked_permutations(n, 4, rng);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_GE(r.fictitious_load_factor, load_factor(t, caps, m));
+}
+
+TEST(ReuseScheduler, RepairsWhenPremiseViolated) {
+  // Universal tree with unit leaf channels: the premise fails, but the
+  // repair pass must still deliver a valid schedule.
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng rng(7);
+  const auto m = stacked_permutations(n, 3, rng);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, r.schedule));
+}
+
+TEST(ReuseScheduler, SelfMessagesHandled) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 16);
+  MessageSet m{{1, 1}, {2, 2}, {0, 63}};
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, r.schedule));
+}
+
+TEST(ReuseScheduler, TargetCyclesIsPowerOfTwoAboveTwoLambda) {
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 40);
+  Rng rng(9);
+  const auto m = stacked_permutations(n, 10, rng);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_GE(static_cast<double>(r.target_cycles),
+            2.0 * r.fictitious_load_factor - 1e-9);
+  EXPECT_EQ(r.target_cycles & (r.target_cycles - 1), 0u);
+}
+
+struct ReuseCase {
+  std::uint32_t n;
+  std::uint64_t cap;
+  std::uint32_t stack;
+};
+
+class ReuseSweep : public ::testing::TestWithParam<ReuseCase> {};
+
+TEST_P(ReuseSweep, NoRepairsUnderPremise) {
+  const auto p = GetParam();
+  FatTreeTopology t(p.n);
+  const auto caps = CapacityProfile::constant(t, p.cap);
+  Rng rng(p.n + p.stack);
+  const auto m = stacked_permutations(p.n, p.stack, rng);
+  const auto r = schedule_reuse(t, caps, m);
+  EXPECT_TRUE(verify_schedule(t, caps, m, r.schedule));
+  EXPECT_EQ(r.repaired_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ReuseSweep,
+    ::testing::Values(ReuseCase{64, 18, 2},   // a = 3
+                      ReuseCase{64, 24, 6},   // a = 4
+                      ReuseCase{256, 32, 4},  // a = 4
+                      ReuseCase{256, 64, 12},
+                      ReuseCase{1024, 40, 5},  // a = 4
+                      ReuseCase{1024, 80, 20}));
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,104 @@
+#include "nets/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nets/builders.hpp"
+#include "util/bits.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+void expect_valid_route(const Network& net, const Route& route,
+                        std::uint32_t from, std::uint32_t to) {
+  std::uint32_t cur = from;
+  for (auto lid : route) {
+    EXPECT_EQ(net.link(lid).from, cur);
+    cur = net.link(lid).to;
+  }
+  EXPECT_EQ(cur, to);
+}
+
+TEST(Routing, BfsSelfRouteIsEmpty) {
+  const auto net = build_mesh2d(3, 3);
+  EXPECT_TRUE(bfs_route(net, 4, 4).empty());
+}
+
+TEST(Routing, BfsRouteIsValidAndShortestOnHypercube) {
+  const auto net = build_hypercube(6);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = static_cast<std::uint32_t>(rng.below(64));
+    const auto b = static_cast<std::uint32_t>(rng.below(64));
+    const auto route = bfs_route(net, a, b);
+    expect_valid_route(net, route, a, b);
+    EXPECT_EQ(route.size(), popcount(a ^ b));  // Hamming distance
+  }
+}
+
+TEST(Routing, BfsRouteShortestOnMesh) {
+  const auto net = build_mesh2d(5, 7);
+  const auto route = bfs_route(net, 0, 34);  // (0,0) -> (4,6)
+  expect_valid_route(net, route, 0, 34);
+  EXPECT_EQ(route.size(), 4u + 6u);  // Manhattan distance
+}
+
+TEST(Routing, RouteAllGroupsBySource) {
+  const auto net = build_hypercube(5);
+  Rng rng(3);
+  MessageSet m;
+  for (int i = 0; i < 40; ++i) {
+    m.push_back({static_cast<Leaf>(rng.below(32)),
+                 static_cast<Leaf>(rng.below(32))});
+  }
+  const auto routes = route_all_bfs(net, m);
+  ASSERT_EQ(routes.size(), m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    expect_valid_route(net, routes[i], net.node_of_processor(m[i].src),
+                       net.node_of_processor(m[i].dst));
+  }
+}
+
+TEST(Routing, RouteAllOnIndirectNetwork) {
+  const auto net = build_butterfly(4);
+  MessageSet m{{0, 15}, {3, 3}, {7, 8}};
+  const auto routes = route_all_bfs(net, m);
+  expect_valid_route(net, routes[0], net.node_of_processor(0),
+                     net.node_of_processor(15));
+  EXPECT_TRUE(routes[1].empty());
+}
+
+TEST(Routing, EcubeMatchesHammingAndOrder) {
+  const auto net = build_hypercube(6);
+  const auto route = ecube_route(net, 6, 0b000000, 0b101010);
+  expect_valid_route(net, route, 0, 0b101010);
+  EXPECT_EQ(route.size(), 3u);
+  // Lowest dimension corrected first.
+  EXPECT_EQ(net.link(route[0]).to, 0b000010u);
+  EXPECT_EQ(net.link(route[1]).to, 0b001010u);
+}
+
+TEST(Routing, XyRouteGoesColumnThenRow) {
+  const auto net = build_mesh2d(4, 4);
+  const auto route = xy_route(net, 4, 4, 0, 15);  // (0,0)->(3,3)
+  expect_valid_route(net, route, 0, 15);
+  EXPECT_EQ(route.size(), 6u);
+  // First three hops move along the row (x direction).
+  EXPECT_EQ(net.link(route[0]).to, 1u);
+  EXPECT_EQ(net.link(route[2]).to, 3u);
+  EXPECT_EQ(net.link(route[3]).to, 7u);
+}
+
+TEST(Routing, EcubeAndBfsAgreeOnLength) {
+  const auto net = build_hypercube(7);
+  Rng rng(5);
+  for (int t = 0; t < 30; ++t) {
+    const auto a = static_cast<std::uint32_t>(rng.below(128));
+    const auto b = static_cast<std::uint32_t>(rng.below(128));
+    if (a == b) continue;
+    EXPECT_EQ(ecube_route(net, 7, a, b).size(), bfs_route(net, a, b).size());
+  }
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,184 @@
+// Property tests for the heart of Theorem 1: the matching + tracing even
+// split. The paper's invariant is that for EVERY channel, the load of a
+// crossing set divides as ceil/floor between the two halves.
+#include "core/offline_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/load.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+/// Generates a random set of messages crossing node v left-to-right.
+MessageSet random_crossing(const FatTreeTopology& t, NodeId v,
+                           std::size_t count, Rng& rng) {
+  const NodeId l = t.left_child(v);
+  const NodeId r = t.right_child(v);
+  MessageSet m;
+  m.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Leaf src = t.subtree_first_leaf(l) +
+                     static_cast<Leaf>(rng.below(t.subtree_size(l)));
+    const Leaf dst = t.subtree_first_leaf(r) +
+                     static_cast<Leaf>(rng.below(t.subtree_size(r)));
+    m.push_back({src, dst});
+  }
+  return m;
+}
+
+void expect_even_split(const FatTreeTopology& t, const MessageSet& all,
+                       const EvenSplit& split) {
+  EXPECT_EQ(split.first.size() + split.second.size(), all.size());
+  // Sizes split evenly.
+  const auto diff = static_cast<std::int64_t>(split.first.size()) -
+                    static_cast<std::int64_t>(split.second.size());
+  EXPECT_LE(std::abs(diff), 1);
+  // Every channel's load splits as ceil/floor.
+  const auto la = compute_loads(t, split.first);
+  const auto lb = compute_loads(t, split.second);
+  const auto lall = compute_loads(t, all);
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(la.up[v] + lb.up[v], lall.up[v]) << "node " << v;
+    EXPECT_EQ(la.down[v] + lb.down[v], lall.down[v]) << "node " << v;
+    EXPECT_LE(std::abs(static_cast<std::int64_t>(la.up[v]) -
+                       static_cast<std::int64_t>(lb.up[v])),
+              1)
+        << "up channel above node " << v;
+    EXPECT_LE(std::abs(static_cast<std::int64_t>(la.down[v]) -
+                       static_cast<std::int64_t>(lb.down[v])),
+              1)
+        << "down channel above node " << v;
+  }
+}
+
+TEST(EvenSplit, EmptySet) {
+  FatTreeTopology t(8);
+  const auto split = split_crossing_messages(t, 1, {});
+  EXPECT_TRUE(split.first.empty());
+  EXPECT_TRUE(split.second.empty());
+}
+
+TEST(EvenSplit, SingleMessage) {
+  FatTreeTopology t(8);
+  const MessageSet m{{0, 7}};
+  const auto split = split_crossing_messages(t, 1, m);
+  EXPECT_EQ(split.first.size() + split.second.size(), 1u);
+}
+
+TEST(EvenSplit, TwoMessagesSameEndpoints) {
+  FatTreeTopology t(8);
+  const MessageSet m{{0, 7}, {0, 7}};
+  const auto split = split_crossing_messages(t, 1, m);
+  // Identical messages must land on opposite sides.
+  EXPECT_EQ(split.first.size(), 1u);
+  EXPECT_EQ(split.second.size(), 1u);
+  expect_even_split(t, m, split);
+}
+
+TEST(EvenSplit, AllFromOneProcessor) {
+  FatTreeTopology t(16);
+  MessageSet m;
+  for (Leaf d = 8; d < 16; ++d) m.push_back({0, d});
+  const auto split = split_crossing_messages(t, 1, m);
+  expect_even_split(t, m, split);
+}
+
+TEST(EvenSplit, AllToOneProcessor) {
+  FatTreeTopology t(16);
+  MessageSet m;
+  for (Leaf s = 0; s < 8; ++s) m.push_back({s, 12});
+  const auto split = split_crossing_messages(t, 1, m);
+  expect_even_split(t, m, split);
+}
+
+TEST(EvenSplit, PermutationAcrossRoot) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  MessageSet m;
+  for (Leaf p = 0; p < n / 2; ++p) m.push_back({p, n - 1 - p});
+  const auto split = split_crossing_messages(t, 1, m);
+  expect_even_split(t, m, split);
+}
+
+TEST(EvenSplit, RightToLeftDirection) {
+  FatTreeTopology t(16);
+  MessageSet m;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    m.push_back({static_cast<Leaf>(8 + rng.below(8)),
+                 static_cast<Leaf>(rng.below(8))});
+  }
+  const auto split = split_crossing_messages(t, 1, m);
+  expect_even_split(t, m, split);
+}
+
+TEST(EvenSplit, InternalNode) {
+  FatTreeTopology t(64);
+  Rng rng(5);
+  for (NodeId v : {2u, 3u, 5u, 12u, 31u}) {
+    const auto m = random_crossing(t, v, 40, rng);
+    const auto split = split_crossing_messages(t, v, m);
+    expect_even_split(t, m, split);
+  }
+}
+
+struct SplitCase {
+  std::uint32_t n;
+  std::size_t count;
+  std::uint64_t seed;
+};
+
+class EvenSplitSweep : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(EvenSplitSweep, RandomCrossingSetsSplitEvenly) {
+  const auto param = GetParam();
+  FatTreeTopology t(param.n);
+  Rng rng(param.seed);
+  // Repeat across several random sets and several nodes.
+  for (int rep = 0; rep < 5; ++rep) {
+    const NodeId v = 1 + static_cast<NodeId>(rng.below(param.n - 1));
+    const NodeId node = t.is_leaf(v) ? 1 : v;
+    const auto m = random_crossing(t, node, param.count, rng);
+    const auto split = split_crossing_messages(t, node, m);
+    expect_even_split(t, m, split);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EvenSplitSweep,
+    ::testing::Values(SplitCase{8, 3, 11}, SplitCase{8, 64, 13},
+                      SplitCase{64, 7, 17}, SplitCase{64, 501, 19},
+                      SplitCase{256, 1000, 23}, SplitCase{1024, 4096, 29},
+                      SplitCase{1024, 9999, 31}));
+
+TEST(EvenSplit, RepeatedSplittingHalvesMaxLoad) {
+  // After k splits the per-channel load is at most ceil(load / 2^k).
+  const std::uint32_t n = 256;
+  FatTreeTopology t(n);
+  Rng rng(37);
+  MessageSet m = random_crossing(t, 1, 2048, rng);
+  const auto initial = compute_loads(t, m);
+  std::vector<MessageSet> parts{m};
+  for (int k = 1; k <= 4; ++k) {
+    std::vector<MessageSet> next;
+    for (auto& p : parts) {
+      auto s = split_crossing_messages(t, 1, p);
+      next.push_back(std::move(s.first));
+      next.push_back(std::move(s.second));
+    }
+    parts = std::move(next);
+    for (const auto& p : parts) {
+      const auto lp = compute_loads(t, p);
+      for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+        const std::uint32_t bound =
+            (initial.up[v] + (1u << k) - 1) >> k;
+        EXPECT_LE(lp.up[v], bound) << "k=" << k << " node=" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft

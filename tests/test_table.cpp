@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ft {
+namespace {
+
+TEST(Table, StoresCells) {
+  Table t({"a", "b"});
+  t.row().add("x").add(std::int64_t{42});
+  t.row().add(3.14159, 2).add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "42");
+  EXPECT_EQ(t.cell(1, 0), "3.14");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().add("short").add(std::int64_t{1});
+  t.row().add("a-much-longer-name").add(std::int64_t{2});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  // Header row and separator present.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.row().add(std::int64_t{1}).add(std::int64_t{2});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,181 @@
+#include "core/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ft {
+namespace {
+
+TEST(Topology, BasicSizes) {
+  FatTreeTopology t(8);
+  EXPECT_EQ(t.num_processors(), 8u);
+  EXPECT_EQ(t.height(), 3u);
+  EXPECT_EQ(t.num_nodes(), 15u);
+  EXPECT_EQ(t.num_channels(), 15u);
+  EXPECT_EQ(t.root(), 1u);
+}
+
+TEST(Topology, LeafNodeMapping) {
+  FatTreeTopology t(16);
+  for (Leaf p = 0; p < 16; ++p) {
+    const NodeId v = t.node_of_leaf(p);
+    EXPECT_TRUE(t.is_leaf(v));
+    EXPECT_EQ(t.leaf_of_node(v), p);
+    EXPECT_EQ(t.level(v), t.height());
+  }
+  EXPECT_FALSE(t.is_leaf(t.root()));
+}
+
+TEST(Topology, ParentChildConsistency) {
+  FatTreeTopology t(32);
+  for (NodeId v = 1; v < 32; ++v) {  // internal nodes
+    EXPECT_EQ(t.parent(t.left_child(v)), v);
+    EXPECT_EQ(t.parent(t.right_child(v)), v);
+    EXPECT_EQ(t.level(t.left_child(v)), t.level(v) + 1);
+  }
+}
+
+TEST(Topology, Levels) {
+  FatTreeTopology t(8);
+  EXPECT_EQ(t.level(1), 0u);
+  EXPECT_EQ(t.level(2), 1u);
+  EXPECT_EQ(t.level(3), 1u);
+  EXPECT_EQ(t.level(7), 2u);
+  EXPECT_EQ(t.level(8), 3u);
+  EXPECT_EQ(t.level(15), 3u);
+}
+
+TEST(Topology, LcaKnownCases) {
+  FatTreeTopology t(8);
+  EXPECT_EQ(t.lca(0, 1), t.parent(t.node_of_leaf(0)));
+  EXPECT_EQ(t.lca(0, 7), t.root());
+  EXPECT_EQ(t.lca(0, 3), 2u);   // left half subtree root
+  EXPECT_EQ(t.lca(4, 6), 3u);   // right half subtree root
+  EXPECT_EQ(t.lca(5, 5), t.node_of_leaf(5));
+}
+
+TEST(Topology, LcaSymmetricAndAncestral) {
+  FatTreeTopology t(64);
+  for (Leaf a = 0; a < 64; a += 7) {
+    for (Leaf b = 0; b < 64; b += 5) {
+      const NodeId m = t.lca(a, b);
+      EXPECT_EQ(m, t.lca(b, a));
+      EXPECT_TRUE(t.leaf_in_subtree(a, m));
+      EXPECT_TRUE(t.leaf_in_subtree(b, m));
+      if (a != b) {
+        // m's children separate a and b.
+        const bool a_left = t.leaf_in_subtree(a, t.left_child(m));
+        const bool b_left = t.leaf_in_subtree(b, t.left_child(m));
+        EXPECT_NE(a_left, b_left);
+      }
+    }
+  }
+}
+
+TEST(Topology, SubtreeLeafRanges) {
+  FatTreeTopology t(16);
+  EXPECT_EQ(t.subtree_first_leaf(1), 0u);
+  EXPECT_EQ(t.subtree_last_leaf(1), 15u);
+  EXPECT_EQ(t.subtree_size(1), 16u);
+  EXPECT_EQ(t.subtree_first_leaf(2), 0u);
+  EXPECT_EQ(t.subtree_last_leaf(2), 7u);
+  EXPECT_EQ(t.subtree_first_leaf(3), 8u);
+  const NodeId leaf5 = t.node_of_leaf(5);
+  EXPECT_EQ(t.subtree_first_leaf(leaf5), 5u);
+  EXPECT_EQ(t.subtree_last_leaf(leaf5), 5u);
+  EXPECT_EQ(t.subtree_size(leaf5), 1u);
+}
+
+TEST(Topology, LeafInSubtree) {
+  FatTreeTopology t(16);
+  for (NodeId v = 1; v < 32; ++v) {
+    const Leaf first = t.subtree_first_leaf(v);
+    const Leaf last = t.subtree_last_leaf(v);
+    for (Leaf p = 0; p < 16; ++p) {
+      EXPECT_EQ(t.leaf_in_subtree(p, v), p >= first && p <= last);
+    }
+  }
+}
+
+TEST(Topology, PathVisitsMatchedChannels) {
+  FatTreeTopology t(16);
+  // Message 3 -> 12: LCA is the root; path has 2*4 channels.
+  std::vector<ChannelId> chans;
+  t.for_each_channel_on_path(3, 12, [&](ChannelId c) { chans.push_back(c); });
+  EXPECT_EQ(chans.size(), 8u);
+  std::size_t ups = 0, downs = 0;
+  for (const auto& c : chans) {
+    if (c.dir == Direction::Up) {
+      ++ups;
+      EXPECT_TRUE(t.leaf_in_subtree(3, c.node));
+    } else {
+      ++downs;
+      EXPECT_TRUE(t.leaf_in_subtree(12, c.node));
+    }
+  }
+  EXPECT_EQ(ups, 4u);
+  EXPECT_EQ(downs, 4u);
+}
+
+TEST(Topology, PathEmptyForSelfMessage) {
+  FatTreeTopology t(8);
+  int visits = 0;
+  t.for_each_channel_on_path(5, 5, [&](ChannelId) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(t.path_length(5, 5), 0u);
+}
+
+TEST(Topology, PathLengthFormula) {
+  FatTreeTopology t(64);
+  for (Leaf a = 0; a < 64; a += 3) {
+    for (Leaf b = 1; b < 64; b += 11) {
+      std::size_t count = 0;
+      t.for_each_channel_on_path(a, b, [&](ChannelId) { ++count; });
+      EXPECT_EQ(count, t.path_length(a, b));
+    }
+  }
+}
+
+TEST(Topology, AdjacentLeavesShortPath) {
+  FatTreeTopology t(16);
+  EXPECT_EQ(t.path_length(0, 1), 2u);   // share a parent
+  EXPECT_EQ(t.path_length(0, 15), 8u);  // through the root
+}
+
+TEST(Topology, ChannelIndexingIsInjective) {
+  FatTreeTopology t(8);
+  std::set<std::size_t> seen;
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    for (Direction d : {Direction::Up, Direction::Down}) {
+      const auto idx = channel_index(ChannelId{v, d});
+      EXPECT_LT(idx, channel_index_bound(t));
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TopologySweep, StructuralInvariants) {
+  const std::uint32_t n = GetParam();
+  FatTreeTopology t(n);
+  EXPECT_EQ(t.num_nodes(), 2 * n - 1);
+  EXPECT_EQ(t.subtree_size(t.root()), n);
+  // Every leaf reachable by descending from the root.
+  for (Leaf p = 0; p < n; ++p) {
+    NodeId v = t.root();
+    while (!t.is_leaf(v)) {
+      v = t.leaf_in_subtree(p, t.left_child(v)) ? t.left_child(v)
+                                                : t.right_child(v);
+    }
+    EXPECT_EQ(t.leaf_of_node(v), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySweep,
+                         ::testing::Values(2u, 4u, 8u, 64u, 256u, 1024u));
+
+}  // namespace
+}  // namespace ft

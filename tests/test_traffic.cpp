@@ -1,0 +1,180 @@
+#include "core/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace ft {
+namespace {
+
+bool is_permutation_traffic(const MessageSet& m, std::uint32_t n) {
+  if (m.size() != n) return false;
+  std::set<Leaf> srcs, dsts;
+  for (const auto& msg : m) {
+    srcs.insert(msg.src);
+    dsts.insert(msg.dst);
+  }
+  return srcs.size() == n && dsts.size() == n;
+}
+
+TEST(Traffic, RandomPermutationIsPermutation) {
+  Rng rng(1);
+  for (std::uint32_t n : {4u, 64u, 1024u}) {
+    EXPECT_TRUE(is_permutation_traffic(random_permutation_traffic(n, rng), n));
+  }
+}
+
+TEST(Traffic, BitReversalKnownValues) {
+  const auto m = bit_reversal_traffic(8);
+  ASSERT_EQ(m.size(), 8u);
+  EXPECT_EQ(m[1].dst, 4u);  // 001 -> 100
+  EXPECT_EQ(m[3].dst, 6u);  // 011 -> 110
+  EXPECT_EQ(m[7].dst, 7u);
+  EXPECT_TRUE(is_permutation_traffic(m, 8));
+}
+
+TEST(Traffic, TransposeIsPermutationAndInvolutionWhenSquare) {
+  const std::uint32_t n = 256;  // lg n = 8, even
+  const auto m = transpose_traffic(n);
+  EXPECT_TRUE(is_permutation_traffic(m, n));
+  for (const auto& msg : m) {
+    EXPECT_EQ(m[msg.dst].dst, msg.src);  // transpose twice = identity
+  }
+}
+
+TEST(Traffic, ShuffleIsRotation) {
+  const auto m = shuffle_traffic(8);
+  EXPECT_EQ(m[0].dst, 0u);
+  EXPECT_EQ(m[1].dst, 2u);
+  EXPECT_EQ(m[4].dst, 1u);  // 100 -> 001
+  EXPECT_TRUE(is_permutation_traffic(m, 8));
+}
+
+TEST(Traffic, ComplementCrossesRoot) {
+  const auto m = complement_traffic(16);
+  for (const auto& msg : m) {
+    EXPECT_EQ(msg.dst, 15u - msg.src);
+    // Opposite halves.
+    EXPECT_NE(msg.src < 8, msg.dst < 8);
+  }
+}
+
+TEST(Traffic, UniformRandomCount) {
+  Rng rng(3);
+  const auto m = uniform_random_traffic(64, 1000, rng);
+  EXPECT_EQ(m.size(), 1000u);
+  for (const auto& msg : m) {
+    EXPECT_LT(msg.src, 64u);
+    EXPECT_LT(msg.dst, 64u);
+  }
+}
+
+TEST(Traffic, HotspotFraction) {
+  Rng rng(5);
+  const std::uint32_t n = 4096;
+  const auto m = hotspot_traffic(n, 0.25, 7, rng);
+  ASSERT_EQ(m.size(), n);
+  std::size_t hot = 0;
+  for (const auto& msg : m) {
+    if (msg.dst == 7) ++hot;
+  }
+  // 25% targeted plus ~1/n incidental.
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.25, 0.03);
+}
+
+TEST(Traffic, LocalRadiusRespected) {
+  Rng rng(7);
+  const std::uint32_t n = 256;
+  const std::uint32_t r = 4;
+  const auto m = local_traffic(n, r, rng);
+  for (const auto& msg : m) {
+    const std::int64_t diff =
+        std::abs(static_cast<std::int64_t>(msg.dst) -
+                 static_cast<std::int64_t>(msg.src));
+    const std::int64_t circ = std::min<std::int64_t>(diff, n - diff);
+    EXPECT_LE(circ, r);
+  }
+}
+
+TEST(Traffic, FemHaloCountsAndNeighbours) {
+  const std::uint32_t rows = 4, cols = 8;
+  const auto m = fem_halo_traffic(rows, cols);
+  // 4rc - 2r - 2c directed neighbour messages.
+  EXPECT_EQ(m.size(), 4u * rows * cols - 2 * rows - 2 * cols);
+  for (const auto& msg : m) {
+    const auto r1 = msg.src / cols, c1 = msg.src % cols;
+    const auto r2 = msg.dst / cols, c2 = msg.dst % cols;
+    EXPECT_EQ(std::abs(static_cast<int>(r1) - static_cast<int>(r2)) +
+                  std::abs(static_cast<int>(c1) - static_cast<int>(c2)),
+              1);
+  }
+}
+
+TEST(Traffic, StackedPermutations) {
+  Rng rng(9);
+  const auto m = stacked_permutations(32, 5, rng);
+  EXPECT_EQ(m.size(), 5u * 32);
+  // Every processor sends exactly 5 messages.
+  std::vector<int> sends(32, 0);
+  for (const auto& msg : m) ++sends[msg.src];
+  for (int s : sends) EXPECT_EQ(s, 5);
+}
+
+TEST(Traffic, TornadoIsHalfRotation) {
+  const auto m = tornado_traffic(16);
+  ASSERT_EQ(m.size(), 16u);
+  for (const auto& msg : m) {
+    EXPECT_EQ(msg.dst, (msg.src + 7) % 16);
+  }
+}
+
+TEST(Traffic, RingShiftWraps) {
+  const auto m = ring_shift_traffic(8, 3);
+  EXPECT_EQ(m[0].dst, 3u);
+  EXPECT_EQ(m[6].dst, 1u);
+  EXPECT_EQ(m[7].dst, 2u);
+}
+
+TEST(Traffic, AllToAllCountsAndCoverage) {
+  const std::uint32_t n = 8;
+  const auto m = all_to_all_traffic(n);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(n) * (n - 1));
+  std::set<std::pair<Leaf, Leaf>> pairs;
+  for (const auto& msg : m) {
+    EXPECT_NE(msg.src, msg.dst);
+    EXPECT_TRUE(pairs.insert({msg.src, msg.dst}).second);
+  }
+}
+
+TEST(Traffic, BisectionFloodTargetsRightHalf) {
+  Rng rng(13);
+  const std::uint32_t n = 64;
+  const auto m = bisection_flood_traffic(n, 3, rng);
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(n / 2) * 3);
+  for (const auto& msg : m) {
+    EXPECT_LT(msg.src, n / 2);
+    EXPECT_GE(msg.dst, n / 2);
+    EXPECT_LT(msg.dst, n);
+  }
+}
+
+TEST(Traffic, StandardWorkloadsCover) {
+  Rng rng(11);
+  const auto workloads = standard_workloads(64, rng);
+  EXPECT_GE(workloads.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& w : workloads) {
+    EXPECT_FALSE(w.messages.empty()) << w.name;
+    names.insert(w.name);
+    for (const auto& msg : w.messages) {
+      EXPECT_LT(msg.src, 64u);
+      EXPECT_LT(msg.dst, 64u);
+    }
+  }
+  EXPECT_EQ(names.size(), workloads.size());  // distinct names
+}
+
+}  // namespace
+}  // namespace ft

@@ -1,0 +1,130 @@
+#include "sim/universality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/traffic.hpp"
+#include "nets/builders.hpp"
+#include "nets/layouts.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Universality, IdentificationIsPermutation) {
+  for (const auto& layout :
+       {layout_mesh2d(8, 8), layout_hypercube(64), layout_binary_tree(64)}) {
+    auto order = identify_processors(layout);
+    ASSERT_EQ(order.size(), 64u);
+    std::sort(order.begin(), order.end());
+    for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Universality, MeshSimulationReportSane) {
+  const auto net = build_mesh2d(8, 8);
+  const auto layout = layout_mesh2d(8, 8);
+  Rng rng(1);
+  const auto m = random_permutation_traffic(64, rng);
+  const auto r = simulate_network_on_fattree(net, layout, m);
+  EXPECT_EQ(r.n, 64u);
+  EXPECT_GT(r.competitor_rounds, 0u);
+  EXPECT_GT(r.ft_cycles, 0u);
+  EXPECT_GT(r.slowdown, 0.0);
+  EXPECT_DOUBLE_EQ(r.volume, 64.0);
+  EXPECT_GE(r.ft_root_capacity, 1u);
+}
+
+TEST(Universality, SlowdownWithinPolylogEnvelope) {
+  // Theorem 10: slowdown O(lg³ n). Constant chosen generously; the point
+  // is polylog, not polynomial.
+  struct Case {
+    Network net;
+    Layout3D layout;
+  };
+  std::vector<Case> cases;
+  cases.push_back({build_hypercube(6), layout_hypercube(64)});
+  cases.push_back({build_mesh2d(8, 8), layout_mesh2d(8, 8)});
+  cases.push_back({build_binary_tree(6), layout_binary_tree(64)});
+  Rng rng(3);
+  const auto m = random_permutation_traffic(64, rng);
+  for (const auto& c : cases) {
+    const auto r = simulate_network_on_fattree(c.net, c.layout, m);
+    EXPECT_LE(r.slowdown, 8.0 * r.lg3_n) << c.net.name();
+  }
+}
+
+TEST(Universality, LocalTrafficOnMeshStaysCheap) {
+  const auto net = build_mesh2d(8, 8);
+  const auto layout = layout_mesh2d(8, 8);
+  const auto m = fem_halo_traffic(8, 8);
+  const auto r = simulate_network_on_fattree(net, layout, m);
+  // Mesh halo exchange: a handful of rounds; the fat-tree keeps cycles
+  // low because the balanced decomposition preserves locality.
+  EXPECT_LE(r.competitor_rounds, 8u);
+  EXPECT_LE(r.ft_cycles, 24u);
+}
+
+TEST(Universality, BiggerVolumeGivesBiggerRootCapacity) {
+  Rng rng(5);
+  const auto m = random_permutation_traffic(64, rng);
+  const auto mesh = simulate_network_on_fattree(build_mesh2d(8, 8),
+                                                layout_mesh2d(8, 8), m);
+  const auto cube = simulate_network_on_fattree(build_hypercube(6),
+                                                layout_hypercube(64), m);
+  EXPECT_GT(cube.volume, mesh.volume);
+  EXPECT_GE(cube.ft_root_capacity, mesh.ft_root_capacity);
+}
+
+TEST(Emulation, HypercubeStepCostsFewCycles) {
+  // Emulating a degree-lg n hypercube step on the fat-tree: with degree-d
+  // processor channels the whole step is a few delivery cycles.
+  const auto net = build_hypercube(6);
+  const auto r = emulate_fixed_connection(net, 64);
+  EXPECT_EQ(r.n, 64u);
+  EXPECT_EQ(r.degree, 6u);
+  EXPECT_GE(r.cycles_per_step, 1u);
+  EXPECT_LE(r.cycles_per_step, 12u);
+}
+
+TEST(Emulation, MeshStepIsAFewCycles) {
+  const auto net = build_mesh2d(8, 8);
+  const auto r = emulate_fixed_connection(net, 64);
+  // λ <= 2 for a degree-4 planar step; the level-by-level scheduler turns
+  // that into a handful of delivery cycles, still O(1) w.r.t. n.
+  EXPECT_LE(r.cycles_per_step, 8u);
+  EXPECT_LE(r.load_factor, 2.0);
+}
+
+TEST(Emulation, ShuffleExchangeStep) {
+  const auto net = build_shuffle_exchange(6);
+  const auto r = emulate_fixed_connection(net, 64);
+  EXPECT_GE(r.cycles_per_step, 1u);
+  EXPECT_LE(r.cycles_per_step, 8u);
+}
+
+class UniversalityWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UniversalityWorkloads, HypercubeSimulationAcrossTraffic) {
+  const std::string name = GetParam();
+  const std::uint32_t n = 64;
+  Rng rng(7);
+  MessageSet m;
+  for (auto& wl : standard_workloads(n, rng)) {
+    if (wl.name == name) m = wl.messages;
+  }
+  ASSERT_FALSE(m.empty());
+  const auto r = simulate_network_on_fattree(build_hypercube(6),
+                                             layout_hypercube(n), m);
+  EXPECT_GT(r.ft_cycles, 0u);
+  EXPECT_LE(r.slowdown, 8.0 * r.lg3_n) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Traffic, UniversalityWorkloads,
+                         ::testing::Values("random-perm", "bit-reversal",
+                                           "transpose", "complement",
+                                           "fem-halo"));
+
+}  // namespace
+}  // namespace ft

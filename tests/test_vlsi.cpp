@@ -1,0 +1,147 @@
+#include "layout/vlsi_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "layout/geometry.hpp"
+
+namespace ft {
+namespace {
+
+TEST(Geometry, BoxBasics) {
+  Box3 b{Point3{0, 0, 0}, Point3{2, 3, 4}};
+  EXPECT_DOUBLE_EQ(b.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.surface_area(), 2.0 * (6 + 12 + 8));
+  EXPECT_TRUE(b.contains(Point3{1, 1, 1}));
+  EXPECT_FALSE(b.contains(Point3{2, 1, 1}));  // hi is exclusive
+  EXPECT_FALSE(b.contains(Point3{-0.1, 1, 1}));
+}
+
+TEST(Geometry, HalveSplitsVolume) {
+  Box3 b{Point3{0, 0, 0}, Point3{4, 4, 4}};
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto [l, r] = b.halve(axis);
+    EXPECT_DOUBLE_EQ(l.volume(), 32.0);
+    EXPECT_DOUBLE_EQ(r.volume(), 32.0);
+    EXPECT_DOUBLE_EQ(l.side(axis), 2.0);
+  }
+}
+
+TEST(Lemma3, CubeAspect) {
+  const auto box = node_box(100, 1.0);
+  EXPECT_DOUBLE_EQ(box.a, 10.0);
+  EXPECT_DOUBLE_EQ(box.b, 10.0);
+  EXPECT_DOUBLE_EQ(box.c, 10.0);
+  EXPECT_DOUBLE_EQ(box.volume(), 1000.0);  // m^{3/2}
+}
+
+TEST(Lemma3, AspectTradesHeightForArea) {
+  // Sides O(h√m), O(h√m), O(√m/h): volume h·m^{3/2}; at h = √m the box is
+  // flat with area m² (the 2-D crossbar bound).
+  const std::uint64_t m = 64;
+  const auto flat = node_box(m, 8.0);
+  EXPECT_DOUBLE_EQ(flat.c, 1.0);
+  EXPECT_DOUBLE_EQ(flat.a * flat.b, 64.0 * 64.0);
+  const auto cube = node_box(m, 1.0);
+  EXPECT_LT(cube.volume(), flat.volume());
+}
+
+TEST(Theorem4, ComponentCountScalesLikeNLogTerm) {
+  // components = Θ(n · lg(w³/n²)).
+  for (const std::uint32_t n : {1u << 10, 1u << 12}) {
+    FatTreeTopology t(n);
+    const std::uint64_t w = n / 4;
+    const auto caps = CapacityProfile::universal(t, w);
+    const double comps = static_cast<double>(total_components(t, caps));
+    const double predicted =
+        static_cast<double>(n) *
+        std::log2(std::pow(static_cast<double>(w), 3) /
+                  std::pow(static_cast<double>(n), 2));
+    const double ratio = comps / predicted;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 64.0);
+  }
+}
+
+TEST(Theorem4, ComponentsMonotoneInRootCapacity) {
+  FatTreeTopology t(1024);
+  std::uint64_t prev = 0;
+  for (std::uint64_t w : {128ull, 256ull, 512ull, 1024ull}) {
+    const auto c = total_components(t, CapacityProfile::universal(t, w));
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Theorem4, VolumeFormulaMonotone) {
+  std::uint64_t n = 4096;
+  double prev = 0;
+  for (std::uint64_t w : {256ull, 512ull, 1024ull, 2048ull, 4096ull}) {
+    const double v = universal_fat_tree_volume(n, w);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Theorem4, FullFatTreeVolumeMatchesHypercubeOrder) {
+  // At w = n the universal fat-tree costs Θ(n^{3/2}) — the same order as
+  // the hypercube; smaller w scales the cost down, which is the paper's
+  // whole point.
+  const std::uint64_t n = 1u << 12;
+  const double full = universal_fat_tree_volume(n, n);
+  const double cube = hypercube_volume(n);
+  EXPECT_GT(full / cube, 0.5);
+  EXPECT_LT(full / cube, 8.0);
+  const double small = universal_fat_tree_volume(n, 1u << 8);
+  EXPECT_LT(small, 0.25 * cube);
+}
+
+TEST(VolumeInversion, RoundTripWithinConstant) {
+  // w -> volume -> root_capacity_for_volume recovers w up to the
+  // logarithmic-correction constants.
+  const std::uint64_t n = 1u << 14;
+  for (std::uint64_t w : {1ull << 10, 1ull << 11, 1ull << 12}) {
+    const double v = universal_fat_tree_volume(n, w);
+    const std::uint64_t w2 = root_capacity_for_volume(n, v);
+    const double ratio = static_cast<double>(w2) / static_cast<double>(w);
+    EXPECT_GT(ratio, 0.3) << "w=" << w;
+    EXPECT_LT(ratio, 3.5) << "w=" << w;
+  }
+}
+
+TEST(VolumeInversion, ClampsToProcessorCount) {
+  EXPECT_LE(root_capacity_for_volume(64, 1e12), 64u);
+  EXPECT_GE(root_capacity_for_volume(64, 0.001), 1u);
+}
+
+TEST(CompetitorVolumes, Ordering) {
+  const std::uint64_t n = 4096;
+  EXPECT_DOUBLE_EQ(mesh2d_volume(n), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(mesh3d_volume(n), static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(binary_tree_volume(n), static_cast<double>(n));
+  EXPECT_GT(hypercube_volume(n), 32.0 * mesh3d_volume(n));
+}
+
+TEST(ConstructiveVolume, TracksClosedFormShape) {
+  // The constructive sum of node boxes should grow with w like the closed
+  // form (same direction, bounded ratio drift across w).
+  const std::uint32_t n = 4096;
+  FatTreeTopology t(n);
+  double prev_constructive = 0;
+  for (std::uint64_t w : {256ull, 512ull, 1024ull, 2048ull}) {
+    const auto caps = CapacityProfile::universal(t, w);
+    const double cv = constructive_volume(t, caps);
+    EXPECT_GT(cv, prev_constructive);
+    prev_constructive = cv;
+  }
+}
+
+TEST(NodeComponents, LinearInWires) {
+  const auto c1 = node_components(8, 8);
+  const auto c2 = node_components(16, 16);
+  EXPECT_EQ(c2, 2 * c1);
+}
+
+}  // namespace
+}  // namespace ft
