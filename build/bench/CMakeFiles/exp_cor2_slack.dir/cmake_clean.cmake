@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cor2_slack.dir/exp_cor2_slack.cpp.o"
+  "CMakeFiles/exp_cor2_slack.dir/exp_cor2_slack.cpp.o.d"
+  "exp_cor2_slack"
+  "exp_cor2_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cor2_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

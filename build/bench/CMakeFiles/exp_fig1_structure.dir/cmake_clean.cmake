@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig1_structure.dir/exp_fig1_structure.cpp.o"
+  "CMakeFiles/exp_fig1_structure.dir/exp_fig1_structure.cpp.o.d"
+  "exp_fig1_structure"
+  "exp_fig1_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig1_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_bitserial.dir/exp_fig2_bitserial.cpp.o"
+  "CMakeFiles/exp_fig2_bitserial.dir/exp_fig2_bitserial.cpp.o.d"
+  "exp_fig2_bitserial"
+  "exp_fig2_bitserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_bitserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_concentrator.dir/exp_fig3_concentrator.cpp.o"
+  "CMakeFiles/exp_fig3_concentrator.dir/exp_fig3_concentrator.cpp.o.d"
+  "exp_fig3_concentrator"
+  "exp_fig3_concentrator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_concentrator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

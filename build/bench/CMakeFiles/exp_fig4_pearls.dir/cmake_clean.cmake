@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_pearls.dir/exp_fig4_pearls.cpp.o"
+  "CMakeFiles/exp_fig4_pearls.dir/exp_fig4_pearls.cpp.o.d"
+  "exp_fig4_pearls"
+  "exp_fig4_pearls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_pearls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

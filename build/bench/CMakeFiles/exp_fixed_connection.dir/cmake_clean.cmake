@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fixed_connection.dir/exp_fixed_connection.cpp.o"
+  "CMakeFiles/exp_fixed_connection.dir/exp_fixed_connection.cpp.o.d"
+  "exp_fixed_connection"
+  "exp_fixed_connection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fixed_connection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_kary_extension.dir/exp_kary_extension.cpp.o"
+  "CMakeFiles/exp_kary_extension.dir/exp_kary_extension.cpp.o.d"
+  "exp_kary_extension"
+  "exp_kary_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_kary_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

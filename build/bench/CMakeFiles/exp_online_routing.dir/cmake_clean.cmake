@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_online_routing.dir/exp_online_routing.cpp.o"
+  "CMakeFiles/exp_online_routing.dir/exp_online_routing.cpp.o.d"
+  "exp_online_routing"
+  "exp_online_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_online_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_online_routing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm10_universality.dir/exp_thm10_universality.cpp.o"
+  "CMakeFiles/exp_thm10_universality.dir/exp_thm10_universality.cpp.o.d"
+  "exp_thm10_universality"
+  "exp_thm10_universality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm10_universality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

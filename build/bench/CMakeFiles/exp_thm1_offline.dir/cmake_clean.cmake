@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm1_offline.dir/exp_thm1_offline.cpp.o"
+  "CMakeFiles/exp_thm1_offline.dir/exp_thm1_offline.cpp.o.d"
+  "exp_thm1_offline"
+  "exp_thm1_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm1_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm4_hardware.dir/exp_thm4_hardware.cpp.o"
+  "CMakeFiles/exp_thm4_hardware.dir/exp_thm4_hardware.cpp.o.d"
+  "exp_thm4_hardware"
+  "exp_thm4_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm4_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

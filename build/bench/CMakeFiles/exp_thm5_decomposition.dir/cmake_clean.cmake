@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm5_decomposition.dir/exp_thm5_decomposition.cpp.o"
+  "CMakeFiles/exp_thm5_decomposition.dir/exp_thm5_decomposition.cpp.o.d"
+  "exp_thm5_decomposition"
+  "exp_thm5_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm5_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

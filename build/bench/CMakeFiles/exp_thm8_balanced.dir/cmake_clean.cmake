@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_thm8_balanced.dir/exp_thm8_balanced.cpp.o"
+  "CMakeFiles/exp_thm8_balanced.dir/exp_thm8_balanced.cpp.o.d"
+  "exp_thm8_balanced"
+  "exp_thm8_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_thm8_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_utilization.dir/exp_utilization.cpp.o"
+  "CMakeFiles/exp_utilization.dir/exp_utilization.cpp.o.d"
+  "exp_utilization"
+  "exp_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_finite_element.dir/finite_element.cpp.o"
+  "CMakeFiles/example_finite_element.dir/finite_element.cpp.o.d"
+  "example_finite_element"
+  "example_finite_element.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_finite_element.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ftsim.dir/ftsim.cpp.o"
+  "CMakeFiles/example_ftsim.dir/ftsim.cpp.o.d"
+  "example_ftsim"
+  "example_ftsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

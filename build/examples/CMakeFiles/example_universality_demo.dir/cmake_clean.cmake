@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_universality_demo.dir/universality_demo.cpp.o"
+  "CMakeFiles/example_universality_demo.dir/universality_demo.cpp.o.d"
+  "example_universality_demo"
+  "example_universality_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_universality_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_universality_demo.
+# This may be replaced when dependencies are built.

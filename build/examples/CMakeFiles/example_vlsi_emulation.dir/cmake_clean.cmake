@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vlsi_emulation.dir/vlsi_emulation.cpp.o"
+  "CMakeFiles/example_vlsi_emulation.dir/vlsi_emulation.cpp.o.d"
+  "example_vlsi_emulation"
+  "example_vlsi_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vlsi_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity.cpp" "src/CMakeFiles/ft_core.dir/core/capacity.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/capacity.cpp.o.d"
+  "/root/repo/src/core/faults.cpp" "src/CMakeFiles/ft_core.dir/core/faults.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/faults.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/CMakeFiles/ft_core.dir/core/io.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/io.cpp.o.d"
+  "/root/repo/src/core/load.cpp" "src/CMakeFiles/ft_core.dir/core/load.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/load.cpp.o.d"
+  "/root/repo/src/core/offline_scheduler.cpp" "src/CMakeFiles/ft_core.dir/core/offline_scheduler.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/offline_scheduler.cpp.o.d"
+  "/root/repo/src/core/online_router.cpp" "src/CMakeFiles/ft_core.dir/core/online_router.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/online_router.cpp.o.d"
+  "/root/repo/src/core/reuse_scheduler.cpp" "src/CMakeFiles/ft_core.dir/core/reuse_scheduler.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/reuse_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedule_stats.cpp" "src/CMakeFiles/ft_core.dir/core/schedule_stats.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/schedule_stats.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/CMakeFiles/ft_core.dir/core/topology.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/topology.cpp.o.d"
+  "/root/repo/src/core/traffic.cpp" "src/CMakeFiles/ft_core.dir/core/traffic.cpp.o" "gcc" "src/CMakeFiles/ft_core.dir/core/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_core.dir/core/capacity.cpp.o"
+  "CMakeFiles/ft_core.dir/core/capacity.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/faults.cpp.o"
+  "CMakeFiles/ft_core.dir/core/faults.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/io.cpp.o"
+  "CMakeFiles/ft_core.dir/core/io.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/load.cpp.o"
+  "CMakeFiles/ft_core.dir/core/load.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/offline_scheduler.cpp.o"
+  "CMakeFiles/ft_core.dir/core/offline_scheduler.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/online_router.cpp.o"
+  "CMakeFiles/ft_core.dir/core/online_router.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/reuse_scheduler.cpp.o"
+  "CMakeFiles/ft_core.dir/core/reuse_scheduler.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/schedule_stats.cpp.o"
+  "CMakeFiles/ft_core.dir/core/schedule_stats.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/topology.cpp.o"
+  "CMakeFiles/ft_core.dir/core/topology.cpp.o.d"
+  "CMakeFiles/ft_core.dir/core/traffic.cpp.o"
+  "CMakeFiles/ft_core.dir/core/traffic.cpp.o.d"
+  "libft_core.a"
+  "libft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

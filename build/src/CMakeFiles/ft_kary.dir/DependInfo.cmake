@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kary/kary_routing.cpp" "src/CMakeFiles/ft_kary.dir/kary/kary_routing.cpp.o" "gcc" "src/CMakeFiles/ft_kary.dir/kary/kary_routing.cpp.o.d"
+  "/root/repo/src/kary/kary_sim.cpp" "src/CMakeFiles/ft_kary.dir/kary/kary_sim.cpp.o" "gcc" "src/CMakeFiles/ft_kary.dir/kary/kary_sim.cpp.o.d"
+  "/root/repo/src/kary/kary_tree.cpp" "src/CMakeFiles/ft_kary.dir/kary/kary_tree.cpp.o" "gcc" "src/CMakeFiles/ft_kary.dir/kary/kary_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

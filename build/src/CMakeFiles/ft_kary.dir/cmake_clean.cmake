@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_kary.dir/kary/kary_routing.cpp.o"
+  "CMakeFiles/ft_kary.dir/kary/kary_routing.cpp.o.d"
+  "CMakeFiles/ft_kary.dir/kary/kary_sim.cpp.o"
+  "CMakeFiles/ft_kary.dir/kary/kary_sim.cpp.o.d"
+  "CMakeFiles/ft_kary.dir/kary/kary_tree.cpp.o"
+  "CMakeFiles/ft_kary.dir/kary/kary_tree.cpp.o.d"
+  "libft_kary.a"
+  "libft_kary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/balanced.cpp" "src/CMakeFiles/ft_layout.dir/layout/balanced.cpp.o" "gcc" "src/CMakeFiles/ft_layout.dir/layout/balanced.cpp.o.d"
+  "/root/repo/src/layout/decomposition.cpp" "src/CMakeFiles/ft_layout.dir/layout/decomposition.cpp.o" "gcc" "src/CMakeFiles/ft_layout.dir/layout/decomposition.cpp.o.d"
+  "/root/repo/src/layout/pearls.cpp" "src/CMakeFiles/ft_layout.dir/layout/pearls.cpp.o" "gcc" "src/CMakeFiles/ft_layout.dir/layout/pearls.cpp.o.d"
+  "/root/repo/src/layout/vlsi_model.cpp" "src/CMakeFiles/ft_layout.dir/layout/vlsi_model.cpp.o" "gcc" "src/CMakeFiles/ft_layout.dir/layout/vlsi_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

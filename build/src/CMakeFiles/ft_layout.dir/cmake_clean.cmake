@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_layout.dir/layout/balanced.cpp.o"
+  "CMakeFiles/ft_layout.dir/layout/balanced.cpp.o.d"
+  "CMakeFiles/ft_layout.dir/layout/decomposition.cpp.o"
+  "CMakeFiles/ft_layout.dir/layout/decomposition.cpp.o.d"
+  "CMakeFiles/ft_layout.dir/layout/pearls.cpp.o"
+  "CMakeFiles/ft_layout.dir/layout/pearls.cpp.o.d"
+  "CMakeFiles/ft_layout.dir/layout/vlsi_model.cpp.o"
+  "CMakeFiles/ft_layout.dir/layout/vlsi_model.cpp.o.d"
+  "libft_layout.a"
+  "libft_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nets/benes.cpp" "src/CMakeFiles/ft_nets.dir/nets/benes.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/benes.cpp.o.d"
+  "/root/repo/src/nets/builders.cpp" "src/CMakeFiles/ft_nets.dir/nets/builders.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/builders.cpp.o.d"
+  "/root/repo/src/nets/layouts.cpp" "src/CMakeFiles/ft_nets.dir/nets/layouts.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/layouts.cpp.o.d"
+  "/root/repo/src/nets/network.cpp" "src/CMakeFiles/ft_nets.dir/nets/network.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/network.cpp.o.d"
+  "/root/repo/src/nets/routing.cpp" "src/CMakeFiles/ft_nets.dir/nets/routing.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/routing.cpp.o.d"
+  "/root/repo/src/nets/store_forward.cpp" "src/CMakeFiles/ft_nets.dir/nets/store_forward.cpp.o" "gcc" "src/CMakeFiles/ft_nets.dir/nets/store_forward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

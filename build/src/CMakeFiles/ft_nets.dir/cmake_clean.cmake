@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_nets.dir/nets/benes.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/benes.cpp.o.d"
+  "CMakeFiles/ft_nets.dir/nets/builders.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/builders.cpp.o.d"
+  "CMakeFiles/ft_nets.dir/nets/layouts.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/layouts.cpp.o.d"
+  "CMakeFiles/ft_nets.dir/nets/network.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/network.cpp.o.d"
+  "CMakeFiles/ft_nets.dir/nets/routing.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/routing.cpp.o.d"
+  "CMakeFiles/ft_nets.dir/nets/store_forward.cpp.o"
+  "CMakeFiles/ft_nets.dir/nets/store_forward.cpp.o.d"
+  "libft_nets.a"
+  "libft_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switch/bitserial.cpp" "src/CMakeFiles/ft_switch.dir/switch/bitserial.cpp.o" "gcc" "src/CMakeFiles/ft_switch.dir/switch/bitserial.cpp.o.d"
+  "/root/repo/src/switch/concentrator.cpp" "src/CMakeFiles/ft_switch.dir/switch/concentrator.cpp.o" "gcc" "src/CMakeFiles/ft_switch.dir/switch/concentrator.cpp.o.d"
+  "/root/repo/src/switch/matching.cpp" "src/CMakeFiles/ft_switch.dir/switch/matching.cpp.o" "gcc" "src/CMakeFiles/ft_switch.dir/switch/matching.cpp.o.d"
+  "/root/repo/src/switch/node.cpp" "src/CMakeFiles/ft_switch.dir/switch/node.cpp.o" "gcc" "src/CMakeFiles/ft_switch.dir/switch/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_switch.dir/switch/bitserial.cpp.o"
+  "CMakeFiles/ft_switch.dir/switch/bitserial.cpp.o.d"
+  "CMakeFiles/ft_switch.dir/switch/concentrator.cpp.o"
+  "CMakeFiles/ft_switch.dir/switch/concentrator.cpp.o.d"
+  "CMakeFiles/ft_switch.dir/switch/matching.cpp.o"
+  "CMakeFiles/ft_switch.dir/switch/matching.cpp.o.d"
+  "CMakeFiles/ft_switch.dir/switch/node.cpp.o"
+  "CMakeFiles/ft_switch.dir/switch/node.cpp.o.d"
+  "libft_switch.a"
+  "libft_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

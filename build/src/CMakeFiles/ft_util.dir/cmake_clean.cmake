@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_util.dir/util/prng.cpp.o"
+  "CMakeFiles/ft_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ft_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/table.cpp.o"
+  "CMakeFiles/ft_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/ft_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/ft_util.dir/util/thread_pool.cpp.o.d"
+  "libft_util.a"
+  "libft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balanced.dir/test_balanced.cpp.o"
+  "CMakeFiles/test_balanced.dir/test_balanced.cpp.o.d"
+  "test_balanced"
+  "test_balanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

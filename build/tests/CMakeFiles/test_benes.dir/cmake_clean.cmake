@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benes.dir/test_benes.cpp.o"
+  "CMakeFiles/test_benes.dir/test_benes.cpp.o.d"
+  "test_benes"
+  "test_benes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_load.cpp" "tests/CMakeFiles/test_load.dir/test_load.cpp.o" "gcc" "tests/CMakeFiles/test_load.dir/test_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_nets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_kary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/test_node.cpp.o"
+  "CMakeFiles/test_node.dir/test_node.cpp.o.d"
+  "test_node"
+  "test_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

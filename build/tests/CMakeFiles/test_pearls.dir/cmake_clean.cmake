@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pearls.dir/test_pearls.cpp.o"
+  "CMakeFiles/test_pearls.dir/test_pearls.cpp.o.d"
+  "test_pearls"
+  "test_pearls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pearls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

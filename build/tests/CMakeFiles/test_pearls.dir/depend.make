@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pearls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split.dir/test_split.cpp.o"
+  "CMakeFiles/test_split.dir/test_split.cpp.o.d"
+  "test_split"
+  "test_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_universality.dir/test_universality.cpp.o"
+  "CMakeFiles/test_universality.dir/test_universality.cpp.o.d"
+  "test_universality"
+  "test_universality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_universality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
