@@ -1,12 +1,21 @@
 // Microbenchmarks (google-benchmark): throughput of the inner kernels —
 // LCA/path iteration, load computation, the matching+tracing even split,
 // whole-schedule construction, Hopcroft–Karp concentrator routing, and
-// the cutting-plane decomposition.
+// the cutting-plane decomposition. After the registered benchmarks run,
+// main() times the delivery-cycle engine serial vs parallel and writes the
+// machine-readable BENCH_engine.json consumed by perf tracking.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <utility>
 
 #include "core/load.hpp"
 #include "core/offline_scheduler.hpp"
 #include "core/traffic.hpp"
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
 #include "layout/balanced.hpp"
 #include "layout/decomposition.hpp"
 #include "nets/layouts.hpp"
@@ -119,6 +128,112 @@ void BM_BalancedDecomposition(benchmark::State& state) {
 }
 BENCHMARK(BM_BalancedDecomposition)->Arg(64)->Arg(256);
 
+void BM_EngineDeliveryCycles(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+  ft::Rng gen(9000);
+  const auto m = ft::stacked_permutations(n, 4, gen);
+  const auto paths = ft::fat_tree_engine_paths(topo, m);
+  ft::EngineOptions opts;
+  opts.seed = 42;
+  opts.parallel = parallel;
+  ft::CycleEngine engine(ft::fat_tree_channel_graph(topo, caps), opts);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cycles += engine.run(paths).cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_EngineDeliveryCycles)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+// ---------------------------------------------------------------------------
+// BENCH_engine.json: delivery-cycle throughput of the unified engine,
+// serial vs parallel, across tree sizes. Hand-rolled timing (best of 3)
+// so the output is a small stable JSON file rather than benchmark's full
+// reporter format.
+
+struct EngineBenchRow {
+  std::uint32_t n = 0;
+  const char* mode = "";
+  std::uint32_t cycles = 0;
+  double seconds = 0.0;
+  double cycles_per_sec = 0.0;
+};
+
+/// Times serial and parallel mode on one workload with interleaved
+/// repetitions (best of 5 each), so both modes sample the same machine
+/// noise and the serial/parallel ratio is stable even on a busy host.
+std::pair<EngineBenchRow, EngineBenchRow> time_engine(std::uint32_t n) {
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+  ft::Rng gen(9000 + n);
+  const auto m = ft::stacked_permutations(n, 4, gen);
+  const auto paths = ft::fat_tree_engine_paths(topo, m);
+  const auto graph = ft::fat_tree_channel_graph(topo, caps);
+
+  ft::EngineOptions serial_opts;
+  serial_opts.seed = 42;
+  ft::EngineOptions parallel_opts = serial_opts;
+  parallel_opts.parallel = true;
+  ft::CycleEngine serial_engine(graph, serial_opts);
+  ft::CycleEngine parallel_engine(graph, parallel_opts);
+
+  EngineBenchRow serial{n, "serial", 0, 1e300, 0.0};
+  EngineBenchRow parallel{n, "parallel", 0, 1e300, 0.0};
+  const auto measure = [&](ft::CycleEngine& engine, EngineBenchRow& row) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = engine.run(paths);
+    const auto t1 = std::chrono::steady_clock::now();
+    row.cycles = r.cycles;
+    row.seconds =
+        std::min(row.seconds, std::chrono::duration<double>(t1 - t0).count());
+  };
+  for (int rep = 0; rep < 5; ++rep) {
+    measure(serial_engine, serial);
+    measure(parallel_engine, parallel);
+  }
+  serial.cycles_per_sec =
+      static_cast<double>(serial.cycles) / serial.seconds;
+  parallel.cycles_per_sec =
+      static_cast<double>(parallel.cycles) / parallel.seconds;
+  return {serial, parallel};
+}
+
+void write_engine_bench(const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmarks\": [\n";
+  bool first = true;
+  for (const std::uint32_t n : {256u, 1024u, 4096u, 16384u}) {
+    const auto [serial, parallel] = time_engine(n);
+    for (const EngineBenchRow& row : {serial, parallel}) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"name\": \"engine_cycles/n=" << row.n << "/" << row.mode
+          << "\", \"n\": " << row.n << ", \"mode\": \"" << row.mode
+          << "\", \"cycles\": " << row.cycles
+          << ", \"seconds\": " << row.seconds
+          << ", \"cycles_per_sec\": " << row.cycles_per_sec << "}";
+      std::cout << "engine n=" << row.n << " " << row.mode << ": "
+                << row.cycles_per_sec << " cycles/sec\n";
+    }
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_engine_bench("BENCH_engine.json");
+  std::cout << "wrote BENCH_engine.json\n";
+  return 0;
+}

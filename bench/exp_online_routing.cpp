@@ -102,6 +102,42 @@ int main() {
     }
     table.print(std::cout,
                 "ablation: partial-concentrator effectiveness alpha");
+    std::cout << '\n';
+  }
+
+  // Engine instrumentation: where the bandwidth goes. EngineMetrics rides
+  // the router's observer hook and aggregates per-level channel
+  // utilization plus a channel-cycle utilization histogram.
+  {
+    const std::uint32_t n = 1024;
+    ft::FatTreeTopology topo(n);
+    const auto caps = ft::CapacityProfile::universal(topo, 128);
+    ft::Rng gen(9);
+    const auto m = ft::stacked_permutations(n, 8, gen);
+    ft::EngineMetrics metrics;
+    ft::OnlineRouterOptions opts;
+    opts.observer = &metrics;
+    ft::Rng rng(4000);
+    const auto r = ft::route_online(topo, caps, m, rng, opts);
+
+    ft::Table levels({"channel level", "mean utilization"});
+    for (std::uint32_t k = 1; k <= topo.height(); ++k) {
+      levels.row().add(k).add(metrics.level_utilization(k), 3);
+    }
+    levels.print(std::cout, "per-level utilization over " +
+                                std::to_string(r.delivery_cycles) +
+                                " delivery cycles (k = 8, w = 128)");
+    std::cout << '\n';
+
+    ft::Table hist({"utilization bin", "channel-cycles"});
+    for (std::size_t b = 0; b < metrics.utilization_histogram.size(); ++b) {
+      const double lo = static_cast<double>(b) /
+                        static_cast<double>(ft::EngineMetrics::kHistogramBins);
+      hist.row()
+          .add(">= " + std::to_string(lo).substr(0, 4))
+          .add(metrics.utilization_histogram[b]);
+    }
+    hist.print(std::cout, "channel-cycle utilization histogram");
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/cycle_loads.hpp"
+#include "core/replay.hpp"
 #include "util/check.hpp"
 
 namespace ft {
@@ -324,10 +325,9 @@ Schedule schedule_greedy(const FatTreeTopology& topo,
 
 bool verify_schedule(const FatTreeTopology& topo, const CapacityProfile& caps,
                      const MessageSet& m, const Schedule& s) {
-  // Every cycle must individually respect capacities.
-  for (const auto& cycle : s.cycles) {
-    if (!is_one_cycle(topo, caps, cycle)) return false;
-  }
+  // Every cycle must individually respect capacities: replaying the
+  // schedule on the engine tallies each channel-cycle's load against cap.
+  if (replay_schedule(topo, caps, s).capacity_violations != 0) return false;
   // The cycles must partition m as a multiset.
   auto key = [](const Message& msg) {
     return (static_cast<std::uint64_t>(msg.src) << 32) | msg.dst;

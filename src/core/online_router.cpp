@@ -1,42 +1,30 @@
 #include "core/online_router.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "core/load.hpp"
-#include "util/bits.hpp"
-#include "util/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
 
 namespace ft {
-namespace {
-
-struct PendingMessage {
-  Leaf src;
-  Leaf dst;
-  std::uint32_t lca_level;  // level of the LCA; channels above this level
-                            // are not traversed
-};
-
-}  // namespace
 
 OnlineRoutingResult route_online(const FatTreeTopology& topo,
                                  const CapacityProfile& caps,
                                  const MessageSet& m, Rng& rng,
                                  const OnlineRouterOptions& opts) {
   const std::uint32_t L = topo.height();
-  const std::uint32_t n = topo.num_processors();
 
-  OnlineRoutingResult result;
-
-  std::vector<PendingMessage> pending;
-  pending.reserve(m.size());
+  // Self messages are delivered locally in the first cycle; everything
+  // else becomes an engine path.
+  std::vector<EnginePath> paths;
+  paths.reserve(m.size());
   std::uint32_t self_delivered = 0;
   for (const auto& msg : m) {
     if (msg.src == msg.dst) {
-      ++self_delivered;  // local delivery, no channel used
+      ++self_delivered;
       continue;
     }
-    pending.push_back({msg.src, msg.dst, topo.level(topo.lca(msg.src, msg.dst))});
+    paths.push_back(fat_tree_engine_path(topo, msg.src, msg.dst));
   }
 
   std::uint32_t max_cycles = opts.max_cycles;
@@ -45,73 +33,32 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
     max_cycles = 64 * (static_cast<std::uint32_t>(lambda) + L * L + 4);
   }
 
-  // Per-channel limit: alpha-discounted capacity, floor 1. Looked up by
-  // node so per-channel fault overrides are honoured.
-  auto channel_limit = [&](NodeId node) -> std::size_t {
-    const auto cap = caps.capacity(topo, node);
-    const auto lim = static_cast<std::uint64_t>(
-        static_cast<double>(cap) * opts.alpha);
-    return static_cast<std::size_t>(std::max<std::uint64_t>(1, lim));
-  };
+  EngineOptions eopts;
+  eopts.contention = ContentionPolicy::RandomSubset;
+  eopts.alpha = opts.alpha;
+  eopts.max_cycles = max_cycles;
+  eopts.seed = rng.next();
+  eopts.parallel = opts.parallel;
+  eopts.threads = opts.threads;
 
-  while (!pending.empty()) {
-    FT_CHECK_MSG(result.delivery_cycles < max_cycles,
-                 "online router exceeded max_cycles");
-    ++result.delivery_cycles;
-    result.total_attempts += pending.size();
+  CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
+  const EngineResult er = engine.run(paths, opts.observer);
 
-    std::vector<std::uint8_t> alive(pending.size(), 1);
+  OnlineRoutingResult result;
+  result.delivery_cycles = er.cycles;
+  result.total_attempts = er.total_attempts;
+  result.total_losses = er.total_losses;
+  result.gave_up = er.gave_up;
+  result.delivered_per_cycle = er.delivered_per_cycle;
 
-    // A message is killed at the first channel where it loses the random
-    // concentration lottery. Channels are processed in causal order: up
-    // channels from the leaves to the root, then down channels back out.
-    auto arbitrate = [&](std::uint32_t level, bool up_phase) {
-      // Bucket the alive messages using a channel at this level.
-      std::map<NodeId, std::vector<std::size_t>> buckets;
-      for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (!alive[i]) continue;
-        const auto& p = pending[i];
-        if (level <= p.lca_level) continue;  // path turns below this level
-        const NodeId leaf_node = n + (up_phase ? p.src : p.dst);
-        const NodeId node = leaf_node >> (L - level);
-        buckets[node].push_back(i);
-      }
-      for (auto& [node, contenders] : buckets) {
-        const std::size_t limit = channel_limit(node);
-        if (contenders.size() <= limit) continue;
-        rng.shuffle(contenders);
-        for (std::size_t j = limit; j < contenders.size(); ++j) {
-          alive[contenders[j]] = 0;
-          ++result.total_losses;
-        }
-      }
-    };
-
-    for (std::uint32_t level = L; level >= 1; --level) {
-      arbitrate(level, /*up_phase=*/true);
-    }
-    for (std::uint32_t level = 1; level <= L; ++level) {
-      arbitrate(level, /*up_phase=*/false);
-    }
-
-    // Survivors are delivered; the rest retry next cycle.
-    std::vector<PendingMessage> next;
-    std::uint32_t delivered = result.delivery_cycles == 1 ? self_delivered : 0;
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      if (alive[i]) {
-        ++delivered;
-      } else {
-        next.push_back(pending[i]);
-      }
-    }
-    result.delivered_per_cycle.push_back(delivered);
-    pending = std::move(next);
-  }
-
-  if (result.delivery_cycles == 0 && self_delivered > 0) {
+  if (self_delivered > 0) {
     // Purely local traffic still takes one delivery cycle.
-    result.delivery_cycles = 1;
-    result.delivered_per_cycle.push_back(self_delivered);
+    if (result.delivery_cycles == 0) {
+      result.delivery_cycles = 1;
+      result.delivered_per_cycle.push_back(self_delivered);
+    } else {
+      result.delivered_per_cycle.front() += self_delivered;
+    }
   }
   return result;
 }

@@ -10,6 +10,13 @@
 // and retries next cycle). The FOCS result shows all messages are
 // delivered in O(λ(M) + lg n · lg lg n) cycles with high probability;
 // experiment E11 measures exactly that curve.
+//
+// The cycle loop itself runs on the unified CycleEngine
+// (engine/engine.hpp) with RandomSubset contention; this file is the
+// fat-tree adapter. Each arbitration draws from a private (seed, cycle,
+// channel) stream, so serial and parallel execution give identical
+// results for one seed (and the router remains deterministic given
+// `rng`'s state, from which that seed is drawn).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,7 @@
 #include "core/capacity.hpp"
 #include "core/message.hpp"
 #include "core/topology.hpp"
+#include "engine/observer.hpp"
 #include "util/prng.hpp"
 
 namespace ft {
@@ -26,20 +34,36 @@ struct OnlineRoutingResult {
   std::uint32_t delivery_cycles = 0;
   std::uint64_t total_attempts = 0;   ///< Message-attempts over all cycles.
   std::uint64_t total_losses = 0;     ///< Attempts killed by congestion.
+  /// True iff the router hit max_cycles with messages still undelivered;
+  /// the result is then a truncated run, not a completed routing. Callers
+  /// that need completion must check this (never reported silently:
+  /// delivered_per_cycle sums to less than |M|).
+  bool gave_up = false;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
 struct OnlineRouterOptions {
-  /// Give up after this many cycles (0 = 64·(λ + lg² n) safety default).
+  /// Give up after this many cycles. 0 selects the safety default
+  /// 64·(⌊λ(M)⌋ + lg² n + 4) — far above the w.h.p. envelope, so hitting
+  /// it indicates a genuine livelock rather than bad luck. When the cap
+  /// is hit, OnlineRoutingResult::gave_up is set.
   std::uint32_t max_cycles = 0;
   /// Concentrator effectiveness: a channel of capacity c accepts
   /// floor(alpha * c) messages but at least 1 (alpha = 1 models the ideal
   /// concentrator; 3/4 models the partial concentrators of Section IV).
   double alpha = 1.0;
+  /// Resolve contention across independent channels on a thread pool;
+  /// results are identical to the serial mode.
+  bool parallel = false;
+  /// Worker threads for parallel mode (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Optional instrumentation hook (per-cycle counters, channel
+  /// utilization; see engine/observer.hpp). Not owned.
+  EngineObserver* observer = nullptr;
 };
 
-/// Routes m on-line; every message is delivered by termination.
-/// Deterministic given `rng`'s seed.
+/// Routes m on-line; every message is delivered by termination unless the
+/// result's gave_up flag is set. Deterministic given `rng`'s seed.
 OnlineRoutingResult route_online(const FatTreeTopology& topo,
                                  const CapacityProfile& caps,
                                  const MessageSet& m, Rng& rng,

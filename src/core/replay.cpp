@@ -1,0 +1,64 @@
+#include "core/replay.hpp"
+
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
+
+namespace ft {
+namespace {
+
+/// Counts channel-cycles whose tallied load exceeds the wire budget and
+/// forwards every snapshot to the caller's observer.
+class ViolationCounter final : public EngineObserver {
+ public:
+  explicit ViolationCounter(EngineObserver* next) : next_(next) {}
+
+  void on_cycle(const CycleSnapshot& s) override {
+    if (s.graph != nullptr && s.carried != nullptr) {
+      const ChannelGraph& g = *s.graph;
+      for (std::size_t c = 0; c < g.num_channels(); ++c) {
+        if (g.capacity[c] != 0 && (*s.carried)[c] > g.capacity[c]) {
+          ++violations_;
+        }
+      }
+    }
+    if (next_ != nullptr) next_->on_cycle(s);
+  }
+
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  EngineObserver* next_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace
+
+ReplayResult replay_schedule(const FatTreeTopology& topo,
+                             const CapacityProfile& caps,
+                             const Schedule& schedule,
+                             const ReplayOptions& opts,
+                             EngineObserver* observer) {
+  std::vector<std::vector<EnginePath>> batches;
+  batches.reserve(schedule.num_cycles());
+  for (const MessageSet& cycle : schedule.cycles) {
+    batches.push_back(fat_tree_engine_paths(topo, cycle));
+  }
+
+  EngineOptions eopts;
+  eopts.contention = ContentionPolicy::Tally;
+  eopts.parallel = opts.parallel;
+  eopts.threads = opts.threads;
+
+  CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
+  ViolationCounter counter(observer);
+  const EngineResult er = engine.run_batched(batches, &counter);
+
+  ReplayResult result;
+  result.cycles = er.cycles;
+  result.delivered = er.delivered;
+  result.capacity_violations = counter.violations();
+  result.delivered_per_cycle = er.delivered_per_cycle;
+  return result;
+}
+
+}  // namespace ft

@@ -1,0 +1,44 @@
+// Offline schedule replay (Section VI: "schedule once, replay every
+// emulated step"). Executes a compiled Schedule on the unified
+// CycleEngine, one injected batch per scheduled delivery cycle, with pure
+// occupancy accounting (Tally contention): every message is delivered in
+// its scheduled cycle and the engine reports exactly what each channel
+// carried. This is the single source of truth for schedule analytics —
+// verify_schedule() and core/schedule_stats build on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/topology.hpp"
+#include "engine/observer.hpp"
+
+namespace ft {
+
+struct ReplayOptions {
+  /// Resolve channels on a thread pool; identical results to serial mode.
+  bool parallel = false;
+  std::size_t threads = 0;
+};
+
+struct ReplayResult {
+  std::uint32_t cycles = 0;     ///< == schedule.num_cycles()
+  std::uint64_t delivered = 0;  ///< == schedule.total_messages()
+  /// Channel-cycles where the scheduled load exceeded capacity. Zero iff
+  /// every scheduled cycle is a one-cycle message set.
+  std::uint64_t capacity_violations = 0;
+  std::vector<std::uint32_t> delivered_per_cycle;
+};
+
+/// Replays `schedule` on the fat-tree, feeding per-cycle channel
+/// occupancy to `observer` (optional). Self messages deliver locally in
+/// their scheduled cycle.
+ReplayResult replay_schedule(const FatTreeTopology& topo,
+                             const CapacityProfile& caps,
+                             const Schedule& schedule,
+                             const ReplayOptions& opts = {},
+                             EngineObserver* observer = nullptr);
+
+}  // namespace ft

@@ -2,39 +2,47 @@
 
 #include <algorithm>
 
-#include "core/load.hpp"
+#include "core/replay.hpp"
+#include "engine/fat_tree_model.hpp"
 #include "util/check.hpp"
 
 namespace ft {
 
 namespace {
 
-/// Used and available wire-slots of one cycle, overall / root-only.
-struct CycleUse {
-  std::uint64_t used = 0;
-  std::uint64_t avail = 0;
-  std::uint64_t root_used = 0;
-  std::uint64_t root_avail = 0;
+/// Per-cycle wire-slot usage accumulated from the engine's replay
+/// occupancy counters. Usable slots are the wire-budget channels (node 1's
+/// external interface is excluded by the channel graph); carried load is
+/// clamped to capacity so an over-full cycle cannot exceed 100%.
+class UtilizationObserver final : public EngineObserver {
+ public:
+  void on_cycle(const CycleSnapshot& s) override {
+    const ChannelGraph& g = *s.graph;
+    std::uint64_t used = 0;
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
+      const auto u = std::min<std::uint64_t>((*s.carried)[c], g.capacity[c]);
+      used += u;
+      if (used_by_level.size() < g.num_levels) {
+        used_by_level.resize(g.num_levels, 0);
+      }
+      used_by_level[g.level[c]] += u;
+    }
+    used_per_cycle.push_back(used);
+  }
+
+  std::vector<std::uint64_t> used_per_cycle;
+  std::vector<std::uint64_t> used_by_level;
 };
 
-CycleUse measure_cycle(const FatTreeTopology& topo,
-                       const CapacityProfile& caps, const MessageSet& cycle) {
-  CycleUse use;
-  const LoadMap loads = compute_loads(topo, cycle);
-  // Node 1's channel is the external interface: internal traffic cannot
-  // use it, so it does not count toward the wire budget.
-  for (NodeId v = 2; v <= topo.num_nodes(); ++v) {
-    const std::uint64_t cap = caps.capacity(topo, v);
-    use.used += std::min<std::uint64_t>(loads.up[v], cap) +
-                std::min<std::uint64_t>(loads.down[v], cap);
-    use.avail += 2 * cap;
-    if (topo.channel_level(v) == 1) {
-      use.root_used += std::min<std::uint64_t>(loads.up[v], cap) +
-                       std::min<std::uint64_t>(loads.down[v], cap);
-      use.root_avail += 2 * cap;
-    }
+/// Wire slots available per cycle at one level / over all levels.
+std::vector<std::uint64_t> avail_by_level(const ChannelGraph& g) {
+  std::vector<std::uint64_t> avail(g.num_levels, 0);
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
+    avail[g.level[c]] += g.capacity[c];
   }
-  return use;
+  return avail;
 }
 
 }  // namespace
@@ -47,28 +55,38 @@ ScheduleStats analyze_schedule(const FatTreeTopology& topo,
   stats.messages = schedule.total_messages();
   if (stats.cycles == 0) return stats;
 
+  UtilizationObserver obs;
+  const ReplayResult replay = replay_schedule(topo, caps, schedule, {}, &obs);
+  FT_CHECK(replay.cycles == stats.cycles);
+
+  const ChannelGraph graph = fat_tree_channel_graph(topo, caps);
+  const std::vector<std::uint64_t> avail_lvl = avail_by_level(graph);
+  std::uint64_t avail = 0;
+  for (const auto a : avail_lvl) avail += a;
+  const std::uint64_t root_avail =
+      avail_lvl.size() > 1 ? avail_lvl[1] : 0;
+
   double sum_util = 0.0;
   double max_util = 0.0;
   double min_util = 2.0;
-  std::uint64_t root_used = 0, root_avail = 0;
-  for (const auto& cycle : schedule.cycles) {
-    const CycleUse use = measure_cycle(topo, caps, cycle);
-    const double util = use.avail
-                            ? static_cast<double>(use.used) /
-                                  static_cast<double>(use.avail)
-                            : 0.0;
+  std::uint64_t root_used = 0;
+  for (std::size_t i = 0; i < stats.cycles; ++i) {
+    const double util = avail ? static_cast<double>(obs.used_per_cycle[i]) /
+                                    static_cast<double>(avail)
+                              : 0.0;
     sum_util += util;
     max_util = std::max(max_util, util);
-    if (!cycle.empty()) min_util = std::min(min_util, util);
-    root_used += use.root_used;
-    root_avail += use.root_avail;
+    if (!schedule.cycles[i].empty()) min_util = std::min(min_util, util);
   }
+  if (obs.used_by_level.size() > 1) root_used = obs.used_by_level[1];
+
   stats.mean_utilization = sum_util / static_cast<double>(stats.cycles);
   stats.max_cycle_utilization = max_util;
   stats.min_cycle_utilization = min_util > 1.5 ? 0.0 : min_util;
   stats.root_utilization =
       root_avail ? static_cast<double>(root_used) /
-                       static_cast<double>(root_avail)
+                       (static_cast<double>(root_avail) *
+                        static_cast<double>(stats.cycles))
                  : 0.0;
   stats.throughput = static_cast<double>(stats.messages) /
                      static_cast<double>(stats.cycles);
@@ -79,22 +97,21 @@ std::vector<double> per_level_utilization(const FatTreeTopology& topo,
                                           const CapacityProfile& caps,
                                           const Schedule& schedule) {
   const std::uint32_t L = topo.height();
-  std::vector<std::uint64_t> used(L + 1, 0), avail(L + 1, 0);
-  for (const auto& cycle : schedule.cycles) {
-    const LoadMap loads = compute_loads(topo, cycle);
-    for (NodeId v = 2; v <= topo.num_nodes(); ++v) {
-      const std::uint32_t k = topo.channel_level(v);
-      const std::uint64_t cap = caps.capacity(topo, v);
-      used[k] += std::min<std::uint64_t>(loads.up[v], cap) +
-                 std::min<std::uint64_t>(loads.down[v], cap);
-      avail[k] += 2 * cap;
-    }
-  }
   std::vector<double> util(L + 1, 0.0);
+  if (schedule.num_cycles() == 0) return util;
+
+  UtilizationObserver obs;
+  replay_schedule(topo, caps, schedule, {}, &obs);
+
+  const std::vector<std::uint64_t> avail_lvl =
+      avail_by_level(fat_tree_channel_graph(topo, caps));
+  obs.used_by_level.resize(L + 1, 0);
   for (std::uint32_t k = 0; k <= L; ++k) {
-    util[k] = avail[k] ? static_cast<double>(used[k]) /
-                             static_cast<double>(avail[k])
-                       : 0.0;
+    const std::uint64_t avail =
+        avail_lvl[k] * static_cast<std::uint64_t>(schedule.num_cycles());
+    util[k] = avail ? static_cast<double>(obs.used_by_level[k]) /
+                          static_cast<double>(avail)
+                    : 0.0;
   }
   return util;
 }

@@ -1,0 +1,78 @@
+// The engine's channel model: every topology the repository simulates
+// (fat-tree ChannelId pairs, generic Network links, k-ary n-tree links)
+// compiles down to a flat table of capacitated channels, and every message
+// compiles down to an ordered list of channel indices. The CycleEngine
+// only ever sees this representation, so one simulation core serves all
+// routers (see DESIGN.md, "Engine architecture").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ft {
+
+/// A message's path: channel indices in traversal order. Empty for local
+/// (src == dst) messages, which cost no channel bandwidth.
+using EnginePath = std::vector<std::uint32_t>;
+
+/// Flat channel table. Channel indices need not be dense: slots with
+/// capacity == 0 are treated as nonexistent (the fat-tree model keeps its
+/// node*2+dir indexing, which leaves a few unused slots).
+struct ChannelGraph {
+  /// Wires (messages per delivery cycle) of each channel; 0 = no channel.
+  std::vector<std::uint64_t> capacity;
+
+  /// Arbitration stage of each channel (lossy mode only). Stages are the
+  /// engine's causal order: a path's channels must have strictly
+  /// increasing stages, and channels that share a stage are independent —
+  /// no message uses two of them in one cycle — which is exactly what the
+  /// parallel mode exploits. FIFO mode ignores stages.
+  std::vector<std::uint32_t> stage;
+
+  /// Instrumentation tag of each channel (fat-tree level; 0 for flat
+  /// graphs). Per-level counters in EngineMetrics aggregate over this.
+  std::vector<std::uint32_t> level;
+
+  /// Channels that count toward utilization denominators. The fat-tree
+  /// model excludes the root's external-interface channel, which internal
+  /// traffic can never use.
+  std::vector<std::uint8_t> in_wire_budget;
+
+  std::uint32_t num_stages = 1;
+  std::uint32_t num_levels = 1;
+
+  std::size_t num_channels() const { return capacity.size(); }
+
+  /// Uniform-metadata constructor for flat link graphs (Network, k-ary):
+  /// one stage, one level, every channel in the wire budget.
+  static ChannelGraph flat(std::vector<std::uint64_t> caps) {
+    ChannelGraph g;
+    const std::size_t n = caps.size();
+    g.capacity = std::move(caps);
+    g.stage.assign(n, 0);
+    g.level.assign(n, 0);
+    g.in_wire_budget.assign(n, 1);
+    g.num_stages = 1;
+    g.num_levels = 1;
+    return g;
+  }
+
+  /// Debug validation of one path against this graph: known channels in
+  /// strictly increasing stage order.
+  void check_path(const EnginePath& path) const {
+    std::uint32_t prev_stage = 0;
+    bool first = true;
+    for (const std::uint32_t c : path) {
+      FT_CHECK_MSG(c < num_channels() && capacity[c] > 0,
+                   "path uses an unknown channel");
+      FT_CHECK_MSG(first || stage[c] > prev_stage,
+                   "path stages must strictly increase");
+      prev_stage = stage[c];
+      first = false;
+    }
+  }
+};
+
+}  // namespace ft

@@ -1,0 +1,328 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ft {
+namespace {
+
+/// Independent arbitration stream per (run seed, cycle, channel): no
+/// random decision depends on the order channels are resolved in, which
+/// is what makes parallel mode bit-identical to serial mode.
+std::uint64_t arbitration_seed(std::uint64_t seed, std::uint32_t cycle,
+                               std::uint32_t channel) {
+  SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(cycle) << 32) ^ channel);
+  return sm.next();
+}
+
+/// Below this many contenders in a stage the arbitration is resolved
+/// inline: waking the pool costs more than the work itself. Stages shrink
+/// as messages deliver, so late cycles drop back to serial automatically.
+constexpr std::size_t kMinParallelWork = 4096;
+
+}  // namespace
+
+CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
+    : graph_(std::move(graph)), opts_(opts) {
+  FT_CHECK_MSG(opts_.alpha > 0.0, "alpha must be positive");
+  if (opts_.parallel) {
+    pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  }
+}
+
+CycleEngine::~CycleEngine() = default;
+
+std::uint64_t CycleEngine::channel_limit(std::size_t channel) const {
+  if (opts_.contention == ContentionPolicy::Tally) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const auto lim = static_cast<std::uint64_t>(
+      static_cast<double>(graph_.capacity[channel]) * opts_.alpha);
+  return std::max<std::uint64_t>(1, lim);
+}
+
+void CycleEngine::arbitrate_channel(std::uint32_t cycle,
+                                    std::uint32_t channel) {
+  auto& contenders = buckets_[channel];
+  const std::uint64_t limit = channel_limit(channel);
+  if (contenders.size() > limit) {
+    Rng arb(arbitration_seed(opts_.seed, cycle, channel));
+    arb.shuffle(contenders);
+    for (std::size_t j = limit; j < contenders.size(); ++j) {
+      alive_[contenders[j]] = 0;
+    }
+    losses_[channel] =
+        static_cast<std::uint32_t>(contenders.size() - limit);
+    contenders.resize(static_cast<std::size_t>(limit));
+  }
+  carried_[channel] = static_cast<std::uint32_t>(contenders.size());
+  for (const std::uint32_t i : contenders) ++pending_[i].cursor;
+}
+
+void CycleEngine::run_stage(std::uint32_t cycle, std::uint32_t stage) {
+  touched_.clear();
+  std::size_t contenders = 0;
+  for (std::uint32_t i = 0; i < pending_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const Pending& p = pending_[i];
+    if (p.cursor >= p.path->size()) continue;
+    const std::uint32_t c = (*p.path)[p.cursor];
+    if (graph_.stage[c] != stage) continue;
+    if (buckets_[c].empty()) touched_.push_back(c);
+    buckets_[c].push_back(i);
+    ++contenders;
+  }
+  if (pool_ && pool_->size() > 1 && touched_.size() >= 2 &&
+      contenders >= kMinParallelWork) {
+    // Channels of one stage are independent (no path visits two), so
+    // workers own disjoint messages and channel counters. Chunk stealing
+    // balances the skewed contender counts across channels.
+    const std::size_t workers =
+        std::min(pool_->size(), touched_.size());
+    const std::size_t chunk = std::max<std::size_t>(
+        4, touched_.size() / (workers * 8));
+    std::atomic<std::size_t> next{0};
+    pool_->run_tasks(workers, [&](std::size_t) {
+      for (;;) {
+        const std::size_t lo =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (lo >= touched_.size()) return;
+        const std::size_t hi = std::min(touched_.size(), lo + chunk);
+        for (std::size_t j = lo; j < hi; ++j) {
+          arbitrate_channel(cycle, touched_[j]);
+        }
+      }
+    });
+  } else {
+    for (const std::uint32_t c : touched_) arbitrate_channel(cycle, c);
+  }
+}
+
+EngineResult CycleEngine::run(const std::vector<EnginePath>& paths,
+                              EngineObserver* observer) {
+  if (opts_.contention == ContentionPolicy::Fifo) {
+    return run_fifo(paths, observer);
+  }
+  if (paths.empty()) return {};
+  const std::vector<std::vector<EnginePath>> batches{paths};
+  return run_lossy(batches, observer);
+}
+
+EngineResult CycleEngine::run_batched(
+    const std::vector<std::vector<EnginePath>>& batches,
+    EngineObserver* observer) {
+  FT_CHECK_MSG(opts_.contention != ContentionPolicy::Fifo,
+               "batched injection requires a lossy or tally policy");
+  return run_lossy(batches, observer);
+}
+
+EngineResult CycleEngine::run_lossy(
+    const std::vector<std::vector<EnginePath>>& batches,
+    EngineObserver* observer) {
+  EngineResult result;
+  const std::size_t num_channels = graph_.num_channels();
+  carried_.assign(num_channels, 0);
+  losses_.assign(num_channels, 0);
+  buckets_.resize(num_channels);
+  pending_.clear();
+
+  std::size_t next_batch = 0;
+  while (next_batch < batches.size() || !pending_.empty()) {
+    const std::uint32_t cycle = result.cycles + 1;
+    std::uint32_t delivered_now = 0;
+    if (next_batch < batches.size()) {
+      for (const EnginePath& path : batches[next_batch]) {
+        graph_.check_path(path);
+        if (path.empty()) {
+          ++delivered_now;  // local delivery, no channel used
+        } else {
+          pending_.push_back(Pending{&path, 0});
+        }
+      }
+      ++next_batch;
+    }
+    const std::size_t pending_before = pending_.size();
+    result.total_attempts += pending_before;
+
+    alive_.assign(pending_.size(), 1);
+    for (Pending& p : pending_) p.cursor = 0;
+    std::fill(carried_.begin(), carried_.end(), 0);
+
+    // A message dies at the first channel whose random cap-subset lottery
+    // it loses; stages run in causal order along every path.
+    std::uint64_t cycle_losses = 0;
+    for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
+      run_stage(cycle, s);
+      for (const std::uint32_t c : touched_) {
+        cycle_losses += losses_[c];
+        losses_[c] = 0;
+        buckets_[c].clear();
+      }
+    }
+
+    // Survivors are delivered; the rest retry next cycle.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (alive_[i]) {
+        ++delivered_now;
+      } else {
+        pending_[kept++] = pending_[i];
+      }
+    }
+    pending_.resize(kept);
+
+    ++result.cycles;
+    result.total_losses += cycle_losses;
+    result.delivered += delivered_now;
+    result.delivered_per_cycle.push_back(delivered_now);
+
+    if (observer != nullptr) {
+      CycleSnapshot snap;
+      snap.cycle = cycle;
+      snap.pending_before = pending_before;
+      snap.delivered = delivered_now;
+      snap.attempts = pending_before;
+      snap.losses = cycle_losses;
+      snap.carried = &carried_;
+      snap.graph = &graph_;
+      observer->on_cycle(snap);
+    }
+
+    if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
+        (next_batch < batches.size() || !pending_.empty())) {
+      result.gave_up = true;
+      break;
+    }
+  }
+  return result;
+}
+
+EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
+                                   EngineObserver* observer) {
+  EngineResult result;
+  const std::size_t num_channels = graph_.num_channels();
+  std::vector<std::deque<std::uint32_t>> queues(num_channels);
+  std::vector<std::uint32_t> pos(paths.size(), 0);
+  carried_.assign(num_channels, 0);
+
+  std::size_t in_flight = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    result.total_hops += paths[i].size();
+    if (paths[i].empty()) {
+      ++result.delivered;  // local message, finishes at round 0
+      continue;
+    }
+    queues[paths[i][0]].push_back(static_cast<std::uint32_t>(i));
+    ++in_flight;
+  }
+
+  // Each round every channel forwards up to its capacity in FIFO order;
+  // arrivals are buffered so a message moves at most one hop per round.
+  struct RangeOut {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
+    double latency_sum = 0.0;
+    std::uint32_t finished = 0;
+    std::uint64_t forwards = 0;
+    std::uint32_t max_queue = 0;
+    bool moved = false;
+  };
+
+  // Channel ranges are fixed for the whole run; arrivals are merged in
+  // range order, so queue contents are identical at any thread count.
+  std::size_t num_ranges = 1;
+  if (pool_ != nullptr && pool_->size() > 1) {
+    num_ranges = std::min<std::size_t>(pool_->size() * 2,
+                                       std::max<std::size_t>(1, num_channels));
+  }
+  const std::size_t range_len = (num_channels + num_ranges - 1) / num_ranges;
+  std::vector<RangeOut> outs(num_ranges);
+
+  auto process_range = [&](std::size_t r, std::uint32_t round) {
+    RangeOut& out = outs[r];
+    out.arrivals.clear();
+    out.latency_sum = 0.0;
+    out.finished = 0;
+    out.forwards = 0;
+    out.max_queue = 0;
+    out.moved = false;
+    const std::size_t lo = r * range_len;
+    const std::size_t hi = std::min(num_channels, lo + range_len);
+    for (std::size_t lid = lo; lid < hi; ++lid) {
+      auto& q = queues[lid];
+      const std::uint64_t cap = graph_.capacity[lid];
+      std::uint32_t forwarded = 0;
+      for (; forwarded < cap && !q.empty(); ++forwarded) {
+        const std::uint32_t msg = q.front();
+        q.pop_front();
+        out.moved = true;
+        ++out.forwards;
+        if (++pos[msg] == paths[msg].size()) {
+          out.latency_sum += round;
+          ++out.finished;
+        } else {
+          out.arrivals.emplace_back(paths[msg][pos[msg]], msg);
+        }
+      }
+      carried_[lid] = forwarded;
+      out.max_queue = std::max(out.max_queue,
+                               static_cast<std::uint32_t>(q.size()));
+    }
+  };
+
+  while (in_flight > 0) {
+    const std::uint32_t round = result.cycles + 1;
+    if (num_ranges > 1) {
+      pool_->run_tasks(num_ranges,
+                       [&](std::size_t r) { process_range(r, round); });
+    } else {
+      process_range(0, round);
+    }
+
+    bool moved = false;
+    std::uint32_t finished = 0;
+    std::uint32_t round_peak = 0;
+    std::uint64_t round_forwards = 0;
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+      const RangeOut& out = outs[r];
+      moved = moved || out.moved;
+      finished += out.finished;
+      result.latency_sum += out.latency_sum;
+      round_forwards += out.forwards;
+      round_peak = std::max(round_peak, out.max_queue);
+      for (const auto& [lid, msg] : out.arrivals) queues[lid].push_back(msg);
+    }
+    result.total_attempts += round_forwards;
+    FT_CHECK_MSG(moved, "FIFO engine made no progress");
+    result.max_queue = std::max(result.max_queue, round_peak);
+    in_flight -= finished;
+    result.delivered += finished;
+    ++result.cycles;
+    result.delivered_per_cycle.push_back(finished);
+
+    if (observer != nullptr) {
+      CycleSnapshot snap;
+      snap.cycle = round;
+      snap.pending_before = in_flight + finished;
+      snap.delivered = finished;
+      snap.attempts = round_forwards;
+      snap.peak_queue = round_peak;
+      snap.carried = &carried_;
+      snap.graph = &graph_;
+      observer->on_cycle(snap);
+    }
+
+    if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
+        in_flight > 0) {
+      result.gave_up = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ft

@@ -1,0 +1,122 @@
+// The unified delivery-cycle engine. One instrumented simulation core runs
+// the paper's batched cycle loop (Section II: contending bit-serial
+// traffic, loss + acknowledgment + retry) for every router in the
+// repository; the per-topology simulators are thin adapters that compile
+// their topology into a ChannelGraph and their messages into EnginePaths.
+//
+// Policy points:
+//   * Contention — how a channel resolves more contenders than wires:
+//       RandomSubset  a uniformly random cap-subset survives, the rest are
+//                     lost and retry next cycle (the paper's concentrator
+//                     + acknowledgment mechanism; `alpha` models partial
+//                     concentrators, Section IV);
+//       Fifo          store-and-forward rounds with per-channel FIFO
+//                     queues, up to cap(c) forwards per round (competitor
+//                     networks, k-ary n-trees);
+//       Tally         no arbitration, pure occupancy accounting (offline
+//                     schedule replay and utilization analytics).
+//   * Channel model — the ChannelGraph handed to the constructor
+//     (engine/fat_tree_model.hpp, nets/Network, kary/KaryTree adapters).
+//
+// Parallel mode resolves contention across independent channels of one
+// arbitration stage on a persistent thread pool. Results are identical to
+// serial mode: every random arbitration draws from a private stream seeded
+// by (seed, cycle, channel), so no decision depends on thread scheduling,
+// and FIFO arrivals are merged in channel-index order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/channel_graph.hpp"
+#include "engine/observer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ft {
+
+enum class ContentionPolicy : std::uint8_t { RandomSubset, Fifo, Tally };
+
+struct EngineOptions {
+  ContentionPolicy contention = ContentionPolicy::RandomSubset;
+  /// RandomSubset: a channel of capacity c accepts floor(alpha * c)
+  /// messages per cycle, floor 1 (alpha = 1 is the ideal concentrator,
+  /// 3/4 the partial concentrators of Section IV).
+  double alpha = 1.0;
+  /// Stop after this many cycles/rounds (0 = unbounded). A lossy run that
+  /// still has pending messages when the cap is hit sets
+  /// EngineResult::gave_up instead of looping forever.
+  std::uint32_t max_cycles = 0;
+  /// Seed for RandomSubset arbitration streams.
+  std::uint64_t seed = 0;
+  /// Resolve independent channels of a stage on a thread pool. Identical
+  /// results to serial mode at any thread count.
+  bool parallel = false;
+  /// Worker threads for parallel mode (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+struct EngineResult {
+  std::uint32_t cycles = 0;  ///< delivery cycles (lossy) or rounds (FIFO)
+  bool gave_up = false;      ///< max_cycles hit with messages undelivered
+  std::uint64_t delivered = 0;
+  std::uint64_t total_attempts = 0;  ///< path attempts (lossy), hops (FIFO)
+  std::uint64_t total_losses = 0;    ///< attempts killed by contention
+  std::uint64_t total_hops = 0;      ///< sum of path lengths
+  double latency_sum = 0.0;          ///< FIFO: sum of per-message finish rounds
+  std::uint32_t max_queue = 0;       ///< FIFO: peak queue depth
+  std::vector<std::uint32_t> delivered_per_cycle;
+};
+
+class CycleEngine {
+ public:
+  explicit CycleEngine(ChannelGraph graph, const EngineOptions& opts = {});
+  ~CycleEngine();
+
+  CycleEngine(const CycleEngine&) = delete;
+  CycleEngine& operator=(const CycleEngine&) = delete;
+
+  const ChannelGraph& graph() const { return graph_; }
+
+  /// Runs one batch of messages to completion. Lossy/tally: all messages
+  /// contend from cycle 1 and losers retry until delivered (or the engine
+  /// gives up). Fifo: synchronous store-and-forward rounds.
+  EngineResult run(const std::vector<EnginePath>& paths,
+                   EngineObserver* observer = nullptr);
+
+  /// Lossy/tally only: batch i is injected at cycle i+1 (the offline
+  /// schedule replay: one batch per scheduled delivery cycle). Losers of
+  /// batch i retry alongside batch i+1. Every batch opens a cycle, so a
+  /// valid offline schedule replays in exactly schedule.num_cycles()
+  /// cycles with zero losses.
+  EngineResult run_batched(const std::vector<std::vector<EnginePath>>& batches,
+                           EngineObserver* observer = nullptr);
+
+ private:
+  struct Pending {
+    const EnginePath* path;
+    std::uint32_t cursor;  ///< next channel position within the cycle
+  };
+
+  std::uint64_t channel_limit(std::size_t channel) const;
+  void arbitrate_channel(std::uint32_t cycle, std::uint32_t channel);
+  void run_stage(std::uint32_t cycle, std::uint32_t stage);
+  EngineResult run_lossy(const std::vector<std::vector<EnginePath>>& batches,
+                         EngineObserver* observer);
+  EngineResult run_fifo(const std::vector<EnginePath>& paths,
+                        EngineObserver* observer);
+
+  ChannelGraph graph_;
+  EngineOptions opts_;
+  std::unique_ptr<ThreadPool> pool_;  ///< live for the engine's lifetime
+
+  // Flat per-channel occupancy state, reused across stages and cycles.
+  std::vector<std::uint32_t> carried_;      ///< per-channel, current cycle
+  std::vector<std::uint32_t> losses_;       ///< per-channel, current stage
+  std::vector<std::vector<std::uint32_t>> buckets_;  ///< contenders
+  std::vector<std::uint32_t> touched_;      ///< channels contended this stage
+  std::vector<Pending> pending_;
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace ft

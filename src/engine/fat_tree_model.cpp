@@ -1,0 +1,61 @@
+#include "engine/fat_tree_model.hpp"
+
+namespace ft {
+
+ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
+                                    const CapacityProfile& caps) {
+  const std::uint32_t L = topo.height();
+  const std::size_t bound = channel_index_bound(topo);
+
+  ChannelGraph g;
+  g.capacity.assign(bound, 0);
+  g.stage.assign(bound, 0);
+  g.level.assign(bound, 0);
+  g.in_wire_budget.assign(bound, 0);
+  g.num_stages = 2 * L;
+  g.num_levels = L + 1;
+
+  for (NodeId v = 1; v <= topo.num_nodes(); ++v) {
+    const std::uint32_t level = topo.channel_level(v);
+    for (const Direction dir : {Direction::Up, Direction::Down}) {
+      const std::size_t idx = channel_index(ChannelId{v, dir});
+      g.capacity[idx] = caps.capacity(topo, v);
+      g.level[idx] = level;
+      if (v == 1) continue;  // external interface: no stage, no budget
+      g.stage[idx] = dir == Direction::Up ? L - level : (L - 1) + level;
+      g.in_wire_budget[idx] = 1;
+    }
+  }
+  return g;
+}
+
+EnginePath fat_tree_engine_path(const FatTreeTopology& topo, Leaf src,
+                                Leaf dst) {
+  EnginePath path;
+  if (src == dst) return path;
+  NodeId a = topo.node_of_leaf(src);
+  NodeId b = topo.node_of_leaf(dst);
+  EnginePath down;  // collected leaf-upward, reversed into causal order
+  while (a != b) {
+    path.push_back(static_cast<std::uint32_t>(
+        channel_index(ChannelId{a, Direction::Up})));
+    down.push_back(static_cast<std::uint32_t>(
+        channel_index(ChannelId{b, Direction::Down})));
+    a >>= 1;
+    b >>= 1;
+  }
+  path.insert(path.end(), down.rbegin(), down.rend());
+  return path;
+}
+
+std::vector<EnginePath> fat_tree_engine_paths(const FatTreeTopology& topo,
+                                              const MessageSet& m) {
+  std::vector<EnginePath> paths;
+  paths.reserve(m.size());
+  for (const auto& msg : m) {
+    paths.push_back(fat_tree_engine_path(topo, msg.src, msg.dst));
+  }
+  return paths;
+}
+
+}  // namespace ft

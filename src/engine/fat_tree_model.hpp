@@ -1,0 +1,36 @@
+// Fat-tree channel model for the CycleEngine: compiles a FatTreeTopology +
+// CapacityProfile into the engine's flat ChannelGraph and message sets
+// into EnginePaths. Channel indices reuse core/topology.hpp's
+// channel_index() (node * 2 + direction), so per-channel counters line up
+// with the rest of the core layer.
+//
+// Arbitration stages encode the paper's causal order within a delivery
+// cycle: up channels from the leaves toward the root (stage = L - level),
+// then down channels back out (stage = L - 1 + level), 2L stages total.
+// The root's external-interface channel is never on an internal path; it
+// is kept out of the wire budget (utilization denominators).
+#pragma once
+
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/message.hpp"
+#include "core/topology.hpp"
+#include "engine/channel_graph.hpp"
+
+namespace ft {
+
+ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
+                                    const CapacityProfile& caps);
+
+/// The unique tree path of one message as engine channel indices (empty
+/// when src == dst).
+EnginePath fat_tree_engine_path(const FatTreeTopology& topo, Leaf src,
+                                Leaf dst);
+
+/// Paths for a whole message set; self messages become empty paths (local
+/// delivery, no channel bandwidth).
+std::vector<EnginePath> fat_tree_engine_paths(const FatTreeTopology& topo,
+                                              const MessageSet& m);
+
+}  // namespace ft

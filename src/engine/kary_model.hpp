@@ -1,0 +1,17 @@
+// k-ary n-tree channel model for the CycleEngine: the tree's dense link
+// ids become engine channel indices one-for-one (unit capacity, as in the
+// E13 contention model), so a KaryRoute is already an EnginePath. Used by
+// the k-ary permutation simulation (FIFO contention).
+#pragma once
+
+#include "engine/channel_graph.hpp"
+#include "kary/kary_tree.hpp"
+
+namespace ft {
+
+inline ChannelGraph kary_channel_graph(const KaryTree& tree) {
+  return ChannelGraph::flat(
+      std::vector<std::uint64_t>(tree.num_links(), 1));
+}
+
+}  // namespace ft

@@ -1,0 +1,20 @@
+// Generic-network channel model for the CycleEngine: link ids become
+// engine channel indices one-for-one, so a nets/routing.hpp Route is
+// already an EnginePath. Used by the store-and-forward competitor
+// simulation (FIFO contention).
+#pragma once
+
+#include "engine/channel_graph.hpp"
+#include "nets/network.hpp"
+
+namespace ft {
+
+inline ChannelGraph network_channel_graph(const Network& net) {
+  std::vector<std::uint64_t> caps(net.num_links());
+  for (std::uint32_t lid = 0; lid < net.num_links(); ++lid) {
+    caps[lid] = net.link(lid).capacity;
+  }
+  return ChannelGraph::flat(std::move(caps));
+}
+
+}  // namespace ft

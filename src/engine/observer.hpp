@@ -1,0 +1,107 @@
+// Instrumentation hooks for the CycleEngine. The engine accumulates one
+// CycleSnapshot per delivery cycle (or store-and-forward round) and hands
+// it to an observer from the coordinating thread — callbacks are always
+// serial and in cycle order, even when the engine resolves contention in
+// parallel, so observers need no locking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/channel_graph.hpp"
+
+namespace ft {
+
+/// What happened in one delivery cycle. `carried` points at the engine's
+/// per-channel counters for this cycle (messages that traversed each
+/// channel, i.e. survived its arbitration); it is only valid during the
+/// callback — copy what you need.
+struct CycleSnapshot {
+  std::uint32_t cycle = 0;          ///< 1-based cycle / round number
+  std::size_t pending_before = 0;   ///< messages alive entering the cycle
+  std::uint32_t delivered = 0;      ///< messages that finished this cycle
+  std::uint64_t attempts = 0;       ///< path attempts (lossy) / hops (FIFO)
+  std::uint64_t losses = 0;         ///< attempts killed by contention
+  std::uint32_t peak_queue = 0;     ///< deepest FIFO queue this round
+  const std::vector<std::uint32_t>* carried = nullptr;  ///< per-channel
+  const ChannelGraph* graph = nullptr;
+};
+
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_cycle(const CycleSnapshot& snapshot) = 0;
+};
+
+/// Ready-made observer: per-cycle and per-level counters plus a channel
+/// utilization histogram — the instrumentation consumed by the bench/
+/// experiments. Reusable across runs via reset().
+class EngineMetrics final : public EngineObserver {
+ public:
+  static constexpr std::size_t kHistogramBins = 10;
+
+  void on_cycle(const CycleSnapshot& s) override {
+    attempts_per_cycle.push_back(s.attempts);
+    losses_per_cycle.push_back(s.losses);
+    delivered_per_cycle.push_back(s.delivered);
+    if (s.peak_queue > peak_queue_depth) peak_queue_depth = s.peak_queue;
+    if (s.graph == nullptr || s.carried == nullptr) return;
+    const ChannelGraph& g = *s.graph;
+    if (carried_by_level.size() < g.num_levels) {
+      carried_by_level.resize(g.num_levels, 0);
+      capacity_by_level.resize(g.num_levels, 0);
+    }
+    if (utilization_histogram.empty()) {
+      utilization_histogram.assign(kHistogramBins, 0);
+    }
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
+      const std::uint32_t carried = (*s.carried)[c];
+      carried_by_level[g.level[c]] += carried;
+      capacity_by_level[g.level[c]] += g.capacity[c];
+      const double u = static_cast<double>(carried) /
+                       static_cast<double>(g.capacity[c]);
+      auto bin = static_cast<std::size_t>(u * kHistogramBins);
+      if (bin >= kHistogramBins) bin = kHistogramBins - 1;
+      ++utilization_histogram[bin];
+    }
+  }
+
+  void reset() { *this = EngineMetrics{}; }
+
+  std::uint32_t cycles() const {
+    return static_cast<std::uint32_t>(delivered_per_cycle.size());
+  }
+  std::uint64_t total_attempts() const { return sum(attempts_per_cycle); }
+  std::uint64_t total_losses() const { return sum(losses_per_cycle); }
+
+  /// Mean carried/capacity over channel-cycles at one level tag.
+  double level_utilization(std::uint32_t level) const {
+    if (level >= carried_by_level.size() || capacity_by_level[level] == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(carried_by_level[level]) /
+           static_cast<double>(capacity_by_level[level]);
+  }
+
+  // Per-cycle counters, index = cycle - 1.
+  std::vector<std::uint64_t> attempts_per_cycle;
+  std::vector<std::uint64_t> losses_per_cycle;
+  std::vector<std::uint32_t> delivered_per_cycle;
+  // Per-level tallies over all cycles, index = ChannelGraph::level.
+  std::vector<std::uint64_t> carried_by_level;
+  std::vector<std::uint64_t> capacity_by_level;  ///< channel-cycle wire slots
+  /// Histogram of per-channel-per-cycle utilization (bin i covers
+  /// [i/10, (i+1)/10), last bin includes 1.0).
+  std::vector<std::uint64_t> utilization_histogram;
+  std::uint32_t peak_queue_depth = 0;
+
+ private:
+  static std::uint64_t sum(const std::vector<std::uint64_t>& v) {
+    std::uint64_t t = 0;
+    for (auto x : v) t += x;
+    return t;
+  }
+};
+
+}  // namespace ft

@@ -1,15 +1,16 @@
 #include "kary/kary_sim.hpp"
 
 #include <algorithm>
-#include <deque>
 
-#include "util/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/kary_model.hpp"
 
 namespace ft {
 
 KarySimResult simulate_kary_permutation(const KaryTree& tree,
                                         const std::vector<std::uint32_t>& perm,
-                                        AscentPolicy policy, Rng& rng) {
+                                        AscentPolicy policy, Rng& rng,
+                                        const KarySimOptions& opts) {
   KarySimResult result;
   KaryLoadTracker tracker(tree);
 
@@ -24,34 +25,13 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   result.max_link_load = tracker.max_load();
   result.mean_link_load = tracker.mean_positive_load();
 
-  // Synchronous store-and-forward on unit-capacity links.
-  std::vector<std::uint32_t> pos(routes.size(), 0);
-  std::vector<std::deque<std::uint32_t>> queues(tree.num_links());
-  std::size_t in_flight = 0;
-  for (std::uint32_t i = 0; i < routes.size(); ++i) {
-    if (routes[i].empty()) continue;
-    queues[routes[i][0]].push_back(i);
-    ++in_flight;
-  }
-  while (in_flight > 0) {
-    ++result.rounds;
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
-    bool moved = false;
-    for (std::uint32_t lid = 0; lid < tree.num_links(); ++lid) {
-      auto& q = queues[lid];
-      if (q.empty()) continue;
-      const std::uint32_t msg = q.front();
-      q.pop_front();
-      moved = true;
-      if (++pos[msg] == routes[msg].size()) {
-        --in_flight;
-      } else {
-        arrivals.emplace_back(routes[msg][pos[msg]], msg);
-      }
-    }
-    FT_CHECK_MSG(moved, "k-ary simulation made no progress");
-    for (const auto& [lid, msg] : arrivals) queues[lid].push_back(msg);
-  }
+  EngineOptions eopts;
+  eopts.contention = ContentionPolicy::Fifo;
+  eopts.parallel = opts.parallel;
+  eopts.threads = opts.threads;
+
+  CycleEngine engine(kary_channel_graph(tree), eopts);
+  result.rounds = engine.run(routes, opts.observer).cycles;
   return result;
 }
 

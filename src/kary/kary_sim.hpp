@@ -1,11 +1,16 @@
 // Round-based delivery simulation on a k-ary n-tree: unit-capacity links,
 // synchronous store-and-forward with FIFO link queues. Reports rounds and
 // link-load statistics per ascent policy — the E13 ablation.
+//
+// Routing stays here (it is what the ablation varies); the delivery rounds
+// run on the unified CycleEngine with Fifo contention, a KaryRoute being
+// already an EnginePath over the tree's dense link ids.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "engine/observer.hpp"
 #include "kary/kary_routing.hpp"
 
 namespace ft {
@@ -17,9 +22,18 @@ struct KarySimResult {
   std::uint32_t max_route_hops = 0;
 };
 
+struct KarySimOptions {
+  /// Forward links on a thread pool; results are identical to serial mode.
+  bool parallel = false;
+  std::size_t threads = 0;
+  /// Optional per-round instrumentation (engine/observer.hpp). Not owned.
+  EngineObserver* observer = nullptr;
+};
+
 /// Routes the permutation under `policy` and simulates delivery.
 KarySimResult simulate_kary_permutation(const KaryTree& tree,
                                         const std::vector<std::uint32_t>& perm,
-                                        AscentPolicy policy, Rng& rng);
+                                        AscentPolicy policy, Rng& rng,
+                                        const KarySimOptions& opts = {});
 
 }  // namespace ft

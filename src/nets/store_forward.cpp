@@ -1,61 +1,31 @@
 #include "nets/store_forward.hpp"
 
 #include <algorithm>
-#include <deque>
 
-#include "util/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/network_model.hpp"
 
 namespace ft {
 
 StoreForwardResult simulate_store_forward(const Network& net,
-                                          const std::vector<Route>& routes) {
+                                          const std::vector<Route>& routes,
+                                          const StoreForwardOptions& opts) {
+  EngineOptions eopts;
+  eopts.contention = ContentionPolicy::Fifo;
+  eopts.parallel = opts.parallel;
+  eopts.threads = opts.threads;
+
+  CycleEngine engine(network_channel_graph(net), eopts);
+  const EngineResult er = engine.run(routes, opts.observer);
+
   StoreForwardResult result;
-
-  struct Flight {
-    std::uint32_t route_pos = 0;  // next link index in its route
-  };
-  std::vector<Flight> flights(routes.size());
-  std::vector<std::deque<std::uint32_t>> queues(net.num_links());
-
-  std::size_t in_flight = 0;
-  double latency_sum = 0.0;
-  for (std::size_t i = 0; i < routes.size(); ++i) {
-    result.total_hops += routes[i].size();
-    if (routes[i].empty()) continue;  // local message, finishes at round 0
-    queues[routes[i][0]].push_back(static_cast<std::uint32_t>(i));
-    ++in_flight;
-  }
-
-  while (in_flight > 0) {
-    ++result.rounds;
-    // Arrivals buffered so a message moves one hop per round.
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;  // link,msg
-    bool moved = false;
-    for (std::uint32_t lid = 0; lid < net.num_links(); ++lid) {
-      auto& q = queues[lid];
-      const std::uint32_t cap = net.link(lid).capacity;
-      for (std::uint32_t c = 0; c < cap && !q.empty(); ++c) {
-        const std::uint32_t msg = q.front();
-        q.pop_front();
-        moved = true;
-        auto& fl = flights[msg];
-        ++fl.route_pos;
-        if (fl.route_pos == routes[msg].size()) {
-          latency_sum += result.rounds;
-          --in_flight;
-        } else {
-          arrivals.emplace_back(routes[msg][fl.route_pos], msg);
-        }
-      }
-      result.max_queue =
-          std::max(result.max_queue, static_cast<std::uint32_t>(q.size()));
-    }
-    FT_CHECK_MSG(moved, "store-and-forward made no progress");
-    for (const auto& [lid, msg] : arrivals) queues[lid].push_back(msg);
-  }
-
-  result.mean_latency =
-      routes.empty() ? 0.0 : latency_sum / static_cast<double>(routes.size());
+  result.rounds = er.cycles;
+  result.total_hops = er.total_hops;
+  result.max_queue = er.max_queue;
+  result.mean_latency = routes.empty()
+                            ? 0.0
+                            : er.latency_sum /
+                                  static_cast<double>(routes.size());
   return result;
 }
 

@@ -2,11 +2,16 @@
 // round every link forwards up to its capacity in FIFO order; the result
 // is the delivery time t that Theorem 10 compares the fat-tree's
 // O(t · lg³ n) against.
+//
+// The round loop runs on the unified CycleEngine (engine/engine.hpp) with
+// Fifo contention; a Route is already an EnginePath, so this file only
+// maps the Network onto the engine's channel graph.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "engine/observer.hpp"
 #include "nets/network.hpp"
 #include "nets/routing.hpp"
 
@@ -19,10 +24,19 @@ struct StoreForwardResult {
   std::uint32_t max_queue = 0;      ///< peak per-link queue length
 };
 
+struct StoreForwardOptions {
+  /// Forward links on a thread pool; results are identical to serial mode.
+  bool parallel = false;
+  std::size_t threads = 0;
+  /// Optional per-round instrumentation (engine/observer.hpp). Not owned.
+  EngineObserver* observer = nullptr;
+};
+
 /// Simulates messages with precomputed routes. Messages with empty routes
 /// (src == dst) finish in round 0.
 StoreForwardResult simulate_store_forward(const Network& net,
-                                          const std::vector<Route>& routes);
+                                          const std::vector<Route>& routes,
+                                          const StoreForwardOptions& opts = {});
 
 /// Lower bound on delivery time: max(longest route, max per-link
 /// congestion / capacity). Useful as a sanity reference in experiments.

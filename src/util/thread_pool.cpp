@@ -33,6 +33,25 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::run_tasks(std::size_t count,
+                           const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Referencing body is safe: run_tasks blocks until the batch drains.
+      tasks_.push([&body, i] { body(i); });
+    }
+    in_flight_ += count;
+  }
+  cv_task_.notify_all();
+  wait_idle();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });

@@ -31,6 +31,14 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
+  /// Runs body(i) for i in [0, count) on the pool and blocks until all
+  /// calls return. One lock acquisition and one broadcast for the whole
+  /// batch — much cheaper than `count` submit() calls when batches are
+  /// issued at high frequency (the delivery-cycle engine dispatches one
+  /// batch per arbitration stage).
+  void run_tasks(std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
  private:
   void worker_loop();
 

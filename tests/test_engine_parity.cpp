@@ -1,0 +1,202 @@
+// Parity tests for the unified delivery-cycle engine: every old-API entry
+// point must produce identical results in serial and parallel mode (the
+// engine's per-(seed, cycle, channel) arbitration streams and fixed FIFO
+// channel ranges make thread scheduling invisible), and the offline replay
+// must reproduce a schedule exactly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/offline_scheduler.hpp"
+#include "core/online_router.hpp"
+#include "core/replay.hpp"
+#include "core/traffic.hpp"
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
+#include "kary/kary_sim.hpp"
+#include "nets/builders.hpp"
+#include "nets/routing.hpp"
+#include "nets/store_forward.hpp"
+
+namespace ft {
+namespace {
+
+OnlineRoutingResult run_online(const FatTreeTopology& t,
+                               const CapacityProfile& caps,
+                               const MessageSet& m, double alpha,
+                               bool parallel) {
+  Rng rng(12345);  // same seed both modes: the engine stream is derived
+  OnlineRouterOptions opts;
+  opts.alpha = alpha;
+  opts.parallel = parallel;
+  return route_online(t, caps, m, rng, opts);
+}
+
+TEST(EngineParity, OnlineSerialEqualsParallel) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(7);
+  const auto m = stacked_permutations(n, 4, gen);
+
+  for (const double alpha : {1.0, 0.75}) {
+    const auto serial = run_online(t, caps, m, alpha, false);
+    const auto parallel = run_online(t, caps, m, alpha, true);
+    EXPECT_EQ(serial.delivery_cycles, parallel.delivery_cycles)
+        << "alpha=" << alpha;
+    EXPECT_EQ(serial.delivered_per_cycle, parallel.delivered_per_cycle)
+        << "alpha=" << alpha;
+    EXPECT_EQ(serial.total_attempts, parallel.total_attempts)
+        << "alpha=" << alpha;
+    EXPECT_EQ(serial.total_losses, parallel.total_losses)
+        << "alpha=" << alpha;
+    EXPECT_FALSE(serial.gave_up);
+    const auto delivered =
+        std::accumulate(serial.delivered_per_cycle.begin(),
+                        serial.delivered_per_cycle.end(), std::uint64_t{0});
+    EXPECT_EQ(delivered, m.size());
+  }
+}
+
+TEST(EngineParity, OnlineDeterministicAcrossRuns) {
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::doubling(t);
+  Rng gen(11);
+  const auto m = random_permutation_traffic(64, gen);
+  const auto a = run_online(t, caps, m, 1.0, false);
+  const auto b = run_online(t, caps, m, 1.0, false);
+  EXPECT_EQ(a.delivery_cycles, b.delivery_cycles);
+  EXPECT_EQ(a.delivered_per_cycle, b.delivered_per_cycle);
+}
+
+TEST(EngineParity, StoreForwardSerialEqualsParallel) {
+  const auto net = build_hypercube(6);
+  Rng traffic(22);
+  const auto m = random_permutation_traffic(64, traffic);
+  const auto routes = route_all_bfs(net, m);
+
+  const auto serial = simulate_store_forward(net, routes);
+  StoreForwardOptions popts;
+  popts.parallel = true;
+  const auto parallel = simulate_store_forward(net, routes, popts);
+
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.total_hops, parallel.total_hops);
+  EXPECT_EQ(serial.max_queue, parallel.max_queue);
+  EXPECT_DOUBLE_EQ(serial.mean_latency, parallel.mean_latency);
+}
+
+TEST(EngineParity, KarySerialEqualsParallel) {
+  KaryTree tree(4, 3);  // 64 processors
+  Rng perm_rng(31);
+  std::vector<std::uint32_t> perm(tree.num_processors());
+  std::iota(perm.begin(), perm.end(), 0u);
+  perm_rng.shuffle(perm);
+
+  Rng r1(33), r2(33);  // identical routing decisions in both runs
+  const auto serial =
+      simulate_kary_permutation(tree, perm, AscentPolicy::Random, r1);
+  KarySimOptions popts;
+  popts.parallel = true;
+  const auto parallel =
+      simulate_kary_permutation(tree, perm, AscentPolicy::Random, r2, popts);
+
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.max_link_load, parallel.max_link_load);
+  EXPECT_DOUBLE_EQ(serial.mean_link_load, parallel.mean_link_load);
+  EXPECT_EQ(serial.max_route_hops, parallel.max_route_hops);
+}
+
+TEST(EngineParity, ReplayReproducesSchedule) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(41);
+  auto m = stacked_permutations(n, 3, gen);
+  m.push_back({5, 5});  // a local message rides along
+  const auto schedule = schedule_offline(t, caps, m);
+  ASSERT_TRUE(verify_schedule(t, caps, m, schedule));
+
+  for (const bool parallel : {false, true}) {
+    ReplayOptions opts;
+    opts.parallel = parallel;
+    const auto replay = replay_schedule(t, caps, schedule, opts);
+    EXPECT_EQ(replay.cycles, schedule.num_cycles());
+    EXPECT_EQ(replay.delivered, schedule.total_messages());
+    EXPECT_EQ(replay.capacity_violations, 0u);
+    ASSERT_EQ(replay.delivered_per_cycle.size(), schedule.num_cycles());
+    for (std::size_t i = 0; i < schedule.num_cycles(); ++i) {
+      EXPECT_EQ(replay.delivered_per_cycle[i], schedule.cycles[i].size());
+    }
+  }
+}
+
+TEST(EngineParity, ReplayCountsCapacityViolations) {
+  FatTreeTopology t(8);
+  const auto caps = CapacityProfile::constant(t, 1);
+  // Two messages through the same root trunk in one "cycle".
+  Schedule s;
+  s.cycles.push_back({{0, 4}, {1, 5}});
+  const auto replay = replay_schedule(t, caps, s);
+  EXPECT_GT(replay.capacity_violations, 0u);
+  EXPECT_EQ(replay.delivered, 2u);  // tally mode still delivers
+  EXPECT_FALSE(verify_schedule(t, caps, {{0, 4}, {1, 5}}, s));
+}
+
+TEST(EngineParity, GaveUpIsReportedNotSilent) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng gen(51);
+  const auto m = stacked_permutations(n, 8, gen);
+  Rng rng(52);
+  OnlineRouterOptions opts;
+  opts.max_cycles = 1;  // far too few for 8 stacked permutations
+  const auto r = route_online(t, caps, m, rng, opts);
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_EQ(r.delivery_cycles, 1u);
+  const auto delivered =
+      std::accumulate(r.delivered_per_cycle.begin(),
+                      r.delivered_per_cycle.end(), std::uint64_t{0});
+  EXPECT_LT(delivered, m.size());
+}
+
+TEST(EngineParity, MetricsObserverMatchesResult) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(61);
+  const auto m = stacked_permutations(n, 3, gen);
+
+  EngineMetrics metrics;
+  Rng rng(62);
+  OnlineRouterOptions opts;
+  opts.observer = &metrics;
+  const auto r = route_online(t, caps, m, rng, opts);
+
+  EXPECT_EQ(metrics.cycles(), r.delivery_cycles);
+  EXPECT_EQ(metrics.total_attempts(), r.total_attempts);
+  EXPECT_EQ(metrics.total_losses(), r.total_losses);
+  // Every attempt either dies or delivers within its cycle.
+  const auto engine_delivered =
+      std::accumulate(metrics.delivered_per_cycle.begin(),
+                      metrics.delivered_per_cycle.end(), std::uint64_t{0});
+  EXPECT_EQ(metrics.total_attempts() - metrics.total_losses(),
+            engine_delivered);
+  EXPECT_EQ(metrics.peak_queue_depth, 0u);  // lossy mode never queues
+
+  // The utilization histogram covers every wire-budget channel once per
+  // cycle: (num_nodes - 1) node channels x 2 directions.
+  const std::uint64_t budget_channels = (t.num_nodes() - 1) * 2ull;
+  const auto hist_total =
+      std::accumulate(metrics.utilization_histogram.begin(),
+                      metrics.utilization_histogram.end(), std::uint64_t{0});
+  EXPECT_EQ(hist_total, budget_channels * metrics.cycles());
+
+  const double root_util = metrics.level_utilization(1);
+  EXPECT_GT(root_util, 0.0);
+  EXPECT_LE(root_util, 1.0);
+}
+
+}  // namespace
+}  // namespace ft

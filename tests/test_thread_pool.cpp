@@ -55,6 +55,21 @@ TEST(ParallelFor, MatchesSerialSum) {
   EXPECT_EQ(expect, got);
 }
 
+TEST(ThreadPool, RunTasksCoversRangeAndBlocks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run_tasks(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  // run_tasks has joined: every index ran exactly once.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  pool.run_tasks(0, [&](std::size_t) { FAIL() << "empty batch ran"; });
+  std::atomic<int> once{0};
+  pool.run_tasks(1, [&](std::size_t) { ++once; });  // inline fast path
+  EXPECT_EQ(once.load(), 1);
+}
+
 TEST(ParallelFor, SingleThreadFallback) {
   std::vector<int> order;
   parallel_for(0, 10, [&](std::size_t i) {
