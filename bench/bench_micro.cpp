@@ -19,6 +19,8 @@
 #include "layout/balanced.hpp"
 #include "layout/decomposition.hpp"
 #include "nets/layouts.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
 #include "switch/concentrator.hpp"
 #include "util/prng.hpp"
 
@@ -206,24 +208,38 @@ std::pair<EngineBenchRow, EngineBenchRow> time_engine(std::uint32_t n) {
 }
 
 void write_engine_bench(const char* path) {
-  std::ofstream out(path);
-  out << "{\n  \"benchmarks\": [\n";
-  bool first = true;
+  ft::JsonValue doc = ft::JsonValue::object();
+  doc["schema"] = "ft.bench_engine/2";
+  doc["git_sha"] = ft::build_git_sha();
+  doc["timestamp"] = ft::timestamp_utc_iso8601();
+  ft::JsonValue& host = doc["host"];
+  host = ft::JsonValue::object();
+  host["hardware_threads"] = ft::host_hardware_threads();
+  ft::JsonValue& benchmarks = doc["benchmarks"];
+  benchmarks = ft::JsonValue::array();
   for (const std::uint32_t n : {256u, 1024u, 4096u, 16384u}) {
     const auto [serial, parallel] = time_engine(n);
     for (const EngineBenchRow& row : {serial, parallel}) {
-      if (!first) out << ",\n";
-      first = false;
-      out << "    {\"name\": \"engine_cycles/n=" << row.n << "/" << row.mode
-          << "\", \"n\": " << row.n << ", \"mode\": \"" << row.mode
-          << "\", \"cycles\": " << row.cycles
-          << ", \"seconds\": " << row.seconds
-          << ", \"cycles_per_sec\": " << row.cycles_per_sec << "}";
+      ft::JsonValue entry = ft::JsonValue::object();
+      entry["name"] = "engine_cycles/n=" + std::to_string(row.n) + "/" +
+                      row.mode;
+      entry["n"] = row.n;
+      entry["mode"] = row.mode;
+      entry["cycles"] = row.cycles;
+      entry["seconds"] = row.seconds;
+      entry["cycles_per_sec"] = row.cycles_per_sec;
+      benchmarks.push_back(std::move(entry));
       std::cout << "engine n=" << row.n << " " << row.mode << ": "
                 << row.cycles_per_sec << " cycles/sec\n";
     }
   }
-  out << "\n  ]\n}\n";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return;
+  }
+  doc.write(out, 2);
+  out << '\n';
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "core/offline_scheduler.hpp"
 #include "core/online_router.hpp"
 #include "core/traffic.hpp"
+#include "obs/run_report.hpp"
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
@@ -29,7 +30,17 @@ int main() {
   ft::Rng wrng(1);
   const auto m = ft::stacked_permutations(n, 4, wrng);
 
+  ft::RunReport run_report("exp_fault_tolerance");
   {
+    ft::JsonValue& params = run_report.params();
+    params["n"] = n;
+    params["w"] = 64;
+    params["stacked_perms"] = 4;
+  }
+  ft::PhaseTimers timers;
+
+  {
+    auto phase = timers.scope("wire_failure_sweep");
     ft::Table table({"wire failure p", "wires surviving", "lambda",
                      "offline cycles", "vs healthy", "1/(1-p)",
                      "online cycles"});
@@ -57,6 +68,17 @@ int main() {
                2)
           .add(1.0 / (1.0 - std::min(p, 0.99)), 2)
           .add(static_cast<std::uint64_t>(online.delivery_cycles));
+
+      ft::JsonValue& run =
+          run_report.add_run("wire_failures/p=" + ft::format_double(p, 2));
+      run["p"] = p;
+      run["survival_rate"] = report.survival_rate();
+      run["lambda"] = lambda;
+      run["offline_cycles"] = static_cast<std::uint64_t>(s.num_cycles());
+      run["vs_healthy"] = static_cast<double>(s.num_cycles()) /
+                          static_cast<double>(base);
+      run["online_cycles"] = online.delivery_cycles;
+      run["online_gave_up"] = online.gave_up;
     }
     table.print(std::cout,
                 "wire-failure sweep, n = 256, w = 64, 4 stacked perms");
@@ -67,21 +89,30 @@ int main() {
 
   {
     // Coarse model: whole channels dropping to one wire.
+    auto phase = timers.scope("broken_cable_sweep");
     ft::Table table({"failed channels", "lambda", "offline cycles"});
     for (std::uint32_t count : {0u, 4u, 16u, 64u, 128u}) {
       ft::Rng frng(77);
       const auto degraded =
           ft::fail_random_channels(topo, caps, count, frng);
+      const double lambda = ft::load_factor(topo, degraded, m);
       const auto s = ft::schedule_offline(topo, degraded, m);
-      table.row()
-          .add(count)
-          .add(ft::load_factor(topo, degraded, m), 2)
-          .add(s.num_cycles());
+      table.row().add(count).add(lambda, 2).add(s.num_cycles());
+
+      ft::JsonValue& run =
+          run_report.add_run("broken_cables/count=" + std::to_string(count));
+      run["failed_channels"] = count;
+      run["lambda"] = lambda;
+      run["offline_cycles"] = static_cast<std::uint64_t>(s.num_cycles());
     }
     table.print(std::cout, "broken-cable sweep (channel drops to 1 wire)");
     std::cout << "\nA few broken cables barely register unless one of them "
                  "is a root channel —\nthe fattening concentrates risk "
                  "where the paper says to spend hardware.\n";
   }
+
+  run_report.set_phases(timers);
+  const char* path = "report_exp_fault_tolerance.json";
+  if (run_report.write_file(path)) std::cout << "\nwrote " << path << '\n';
   return 0;
 }

@@ -1,6 +1,10 @@
 // E11 — the on-line extension (Sections II/VI, Greenberg–Leiserson [8]):
 // randomized lossy routing with acknowledgments and retry delivers every
 // message set in O(λ(M) + lg n · lg lg n) delivery cycles w.h.p.
+//
+// Besides the tables, emits report_exp_online_routing.json — a
+// schema-versioned RunReport with every sweep's numbers and phase
+// timings (collected into reports/ by scripts/run_experiments.sh).
 #include <algorithm>
 #include <cmath>
 #include <iostream>
@@ -8,6 +12,8 @@
 #include "core/load.hpp"
 #include "core/online_router.hpp"
 #include "core/traffic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "sim/experiment.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -18,8 +24,12 @@ int main() {
       "lossy delivery cycles with random concentrator arbitration finish "
       "in O(lambda + lg n lglg n) cycles w.h.p.");
 
+  ft::RunReport report("exp_online_routing");
+  ft::PhaseTimers timers;
+
   // λ sweep at fixed n.
   {
+    auto phase = timers.scope("lambda_sweep");
     const std::uint32_t n = 1024;
     ft::FatTreeTopology topo(n);
     const auto caps = ft::CapacityProfile::universal(topo, 128);
@@ -49,6 +59,15 @@ int main() {
           .add(ft::percentile(cycles, 95), 1)
           .add(acc.mean() / envelope, 3)
           .add(losses / attempts, 3);
+
+      ft::JsonValue& run = report.add_run("lambda_sweep/k=" + std::to_string(k));
+      run["n"] = n;
+      run["stacked_perms"] = k;
+      run["lambda"] = lambda;
+      run["mean_cycles"] = acc.mean();
+      run["p95_cycles"] = ft::percentile(cycles, 95);
+      run["envelope_ratio"] = acc.mean() / envelope;
+      run["loss_rate"] = losses / attempts;
     }
     table.print(std::cout, "n = 1024, w = 128: cycles track the envelope");
     std::cout << '\n';
@@ -56,6 +75,7 @@ int main() {
 
   // n sweep at fixed λ: the additive lg n lglg n term.
   {
+    auto phase = timers.scope("n_sweep");
     ft::Table table({"n", "lambda", "mean cycles",
                      "cycles/(lambda + lg n lglg n)"});
     for (std::uint32_t lg = 6; lg <= 12; lg += 2) {
@@ -74,6 +94,12 @@ int main() {
       }
       table.row().add(n).add(lambda, 2).add(acc.mean(), 1).add(
           acc.mean() / envelope, 3);
+
+      ft::JsonValue& run = report.add_run("n_sweep/n=" + std::to_string(n));
+      run["n"] = n;
+      run["lambda"] = lambda;
+      run["mean_cycles"] = acc.mean();
+      run["envelope_ratio"] = acc.mean() / envelope;
     }
     table.print(std::cout, "n sweep at 4 stacked permutations");
     std::cout << '\n';
@@ -81,6 +107,7 @@ int main() {
 
   // Ideal vs partial-concentrator arbitration (alpha ablation).
   {
+    auto phase = timers.scope("alpha_ablation");
     const std::uint32_t n = 512;
     ft::FatTreeTopology topo(n);
     const auto caps = ft::CapacityProfile::universal(topo, 64);
@@ -99,6 +126,12 @@ int main() {
         attempts += static_cast<double>(r.total_attempts);
       }
       table.row().add(alpha, 2).add(cyc / 5.0, 1).add(losses / attempts, 3);
+
+      ft::JsonValue& run = report.add_run("alpha_ablation/alpha=" +
+                                          ft::format_double(alpha, 2));
+      run["alpha"] = alpha;
+      run["mean_cycles"] = cyc / 5.0;
+      run["loss_rate"] = losses / attempts;
     }
     table.print(std::cout,
                 "ablation: partial-concentrator effectiveness alpha");
@@ -109,6 +142,7 @@ int main() {
   // the router's observer hook and aggregates per-level channel
   // utilization plus a channel-cycle utilization histogram.
   {
+    auto phase = timers.scope("instrumentation");
     const std::uint32_t n = 1024;
     ft::FatTreeTopology topo(n);
     const auto caps = ft::CapacityProfile::universal(topo, 128);
@@ -129,15 +163,26 @@ int main() {
                                 " delivery cycles (k = 8, w = 128)");
     std::cout << '\n';
 
-    ft::Table hist({"utilization bin", "channel-cycles"});
-    for (std::size_t b = 0; b < metrics.utilization_histogram.size(); ++b) {
-      const double lo = static_cast<double>(b) /
-                        static_cast<double>(ft::EngineMetrics::kHistogramBins);
-      hist.row()
-          .add(">= " + std::to_string(lo).substr(0, 4))
-          .add(metrics.utilization_histogram[b]);
+    const ft::Histogram& hist = metrics.utilization_histogram();
+    ft::Table hist_table({"utilization bin", "channel-cycles"});
+    for (std::size_t b = 0; b < hist.num_bins(); ++b) {
+      hist_table.row()
+          .add(">= " + ft::format_double(hist.bin_lo(b), 2))
+          .add(hist.bin_count(b));
     }
-    hist.print(std::cout, "channel-cycle utilization histogram");
+    if (hist.overflow() != 0) {
+      hist_table.row().add("overload > 1").add(hist.overflow());
+    }
+    hist_table.print(std::cout, "channel-cycle utilization histogram");
+
+    ft::JsonValue& run = report.add_run("instrumentation/n=1024,k=8");
+    run["n"] = n;
+    run["delivery_cycles"] = r.delivery_cycles;
+    run["engine"] = metrics.to_json();
   }
+
+  report.set_phases(timers);
+  const char* path = "report_exp_online_routing.json";
+  if (report.write_file(path)) std::cout << "\nwrote " << path << '\n';
   return 0;
 }

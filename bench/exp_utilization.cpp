@@ -10,6 +10,7 @@
 
 #include "core/schedule_stats.hpp"
 #include "core/traffic.hpp"
+#include "obs/run_report.hpp"
 #include "sim/experiment.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
@@ -24,7 +25,12 @@ int main() {
   ft::FatTreeTopology topo(n);
   ft::Rng rng(1);
 
+  ft::RunReport report("exp_utilization");
+  report.params()["n"] = n;
+  ft::PhaseTimers timers;
+
   {
+    auto phase = timers.scope("tree_size_sweep");
     ft::Table table({"workload", "w", "cycles", "mean util", "root util",
                      "throughput msg/cycle"});
     for (const char* name : {"random-perm", "fem-halo", "complement"}) {
@@ -44,6 +50,15 @@ int main() {
             .add(stats.mean_utilization, 3)
             .add(stats.root_utilization, 3)
             .add(stats.throughput, 1);
+
+        ft::JsonValue& run = report.add_run(std::string(name) +
+                                            "/w=" + std::to_string(w));
+        run["workload"] = name;
+        run["w"] = w;
+        run["cycles"] = static_cast<std::uint64_t>(stats.cycles);
+        run["mean_utilization"] = stats.mean_utilization;
+        run["root_utilization"] = stats.root_utilization;
+        run["throughput"] = stats.throughput;
       }
     }
     table.print(std::cout, "utilization vs tree size, n = 256");
@@ -53,6 +68,7 @@ int main() {
   }
 
   {
+    auto phase = timers.scope("per_level_profile");
     const auto caps = ft::CapacityProfile::universal(topo, 64);
     ft::Table table({"level", "util (random-perm)", "util (fem-halo)",
                      "util (complement)"});
@@ -65,6 +81,14 @@ int main() {
       }
       const auto s = ft::schedule_offline(topo, caps, m);
       per.push_back(ft::per_level_utilization(topo, caps, s));
+
+      ft::JsonValue& run =
+          report.add_run(std::string("per_level/") + name + "/w=64");
+      run["workload"] = name;
+      run["w"] = 64;
+      ft::JsonValue& levels = run["level_utilization"];
+      levels = ft::JsonValue::array();
+      for (const double u : per.back()) levels.push_back(u);
     }
     for (std::uint32_t k = 0; k <= topo.height(); ++k) {
       table.row().add(k).add(per[0][k], 3).add(per[1][k], 3).add(per[2][k],
@@ -75,5 +99,9 @@ int main() {
                  "traffic (complement)\nworks them hardest — matching the "
                  "telephone-exchange picture of Section II.\n";
   }
+
+  report.set_phases(timers);
+  const char* path = "report_exp_utilization.json";
+  if (report.write_file(path)) std::cout << "\nwrote " << path << '\n';
   return 0;
 }

@@ -2,11 +2,19 @@
 // capacity, workload, and scheduler, get the delivery-cycle report. The
 // fifth example; the one a user scripts parameter sweeps with.
 //
-//   ./example_ftsim --n 512 --w 128 --workload transpose \
+//   ./example_ftsim --n 512 --w 128 --workload transpose
 //                   --scheduler offline --seed 1 [--faults 0.1] [--csv]
+//                   [--trace trace.json] [--report report.json]
+//
+// --trace writes a Chrome trace_event file (open in chrome://tracing or
+// ui.perfetto.dev), --jsonl a raw event log, --report a schema-versioned
+// RunReport JSON (see DESIGN.md, "Observability"). Offline schedulers are
+// traced by replaying the compiled schedule on the engine; the online
+// scheduler is traced live.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -14,8 +22,12 @@
 #include "core/load.hpp"
 #include "core/offline_scheduler.hpp"
 #include "core/online_router.hpp"
+#include "core/replay.hpp"
 #include "core/reuse_scheduler.hpp"
 #include "core/traffic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/table.hpp"
 
@@ -34,7 +46,10 @@ void usage() {
       "  --stack K      stack K copies of the workload (default 1)\n"
       "  --faults P     wire failure probability (default 0)\n"
       "  --seed S       RNG seed (default 1)\n"
-      "  --csv          emit CSV instead of an aligned table\n");
+      "  --csv          emit CSV instead of an aligned table\n"
+      "  --trace F      write Chrome trace JSON (chrome://tracing, Perfetto)\n"
+      "  --jsonl F      write raw per-message event log (one JSON per line)\n"
+      "  --report F     write schema-versioned RunReport JSON\n");
 }
 
 struct Options {
@@ -46,6 +61,9 @@ struct Options {
   double faults = 0.0;
   std::uint64_t seed = 1;
   bool csv = false;
+  std::string trace_path;
+  std::string jsonl_path;
+  std::string report_path;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -84,6 +102,18 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (arg == "--jsonl") {
+      const char* v = next();
+      if (!v) return false;
+      opt.jsonl_path = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      opt.report_path = v;
     } else {
       return false;
     }
@@ -95,40 +125,88 @@ struct RunResult {
   double lambda = 0.0;
   std::size_t cycles = 0;
   bool verified = false;
+  bool gave_up = false;
 };
 
+/// Runs one workload under the selected scheduler. When `observer` is
+/// non-null the delivery cycles are observed on the engine: online runs
+/// live, offline schedules via a Tally replay of the compiled schedule.
 RunResult run_one(const ft::FatTreeTopology& topo,
                   const ft::CapacityProfile& caps, const ft::MessageSet& m,
-                  const Options& opt) {
+                  const Options& opt, ft::EngineObserver* observer,
+                  ft::PhaseTimers& timers) {
   RunResult r;
-  r.lambda = ft::load_factor(topo, caps, m);
+  {
+    auto t = timers.scope("load_factor");
+    r.lambda = ft::load_factor(topo, caps, m);
+  }
+  ft::Schedule schedule;
+  bool offline = true;
   if (opt.scheduler == "offline") {
-    const auto s = ft::schedule_offline(topo, caps, m);
-    r.cycles = s.num_cycles();
-    r.verified = ft::verify_schedule(topo, caps, m, s);
+    auto t = timers.scope("schedule");
+    schedule = ft::schedule_offline(topo, caps, m);
   } else if (opt.scheduler == "packed") {
-    const auto s = ft::schedule_offline_packed(topo, caps, m);
-    r.cycles = s.num_cycles();
-    r.verified = ft::verify_schedule(topo, caps, m, s);
+    auto t = timers.scope("schedule");
+    schedule = ft::schedule_offline_packed(topo, caps, m);
   } else if (opt.scheduler == "greedy") {
-    const auto s = ft::schedule_greedy(topo, caps, m);
-    r.cycles = s.num_cycles();
-    r.verified = ft::verify_schedule(topo, caps, m, s);
+    auto t = timers.scope("schedule");
+    schedule = ft::schedule_greedy(topo, caps, m);
   } else if (opt.scheduler == "reuse") {
-    const auto s = ft::schedule_reuse(topo, caps, m);
-    r.cycles = s.schedule.num_cycles();
-    r.verified = ft::verify_schedule(topo, caps, m, s.schedule);
+    auto t = timers.scope("schedule");
+    schedule = ft::schedule_reuse(topo, caps, m).schedule;
   } else if (opt.scheduler == "online") {
+    offline = false;
     ft::Rng rng(opt.seed ^ 0x0511e5);
-    const auto res = ft::route_online(topo, caps, m, rng);
+    ft::OnlineRouterOptions opts;
+    opts.observer = observer;
+    auto t = timers.scope("route");
+    const auto res = ft::route_online(topo, caps, m, rng, opts);
     r.cycles = res.delivery_cycles;
+    r.gave_up = res.gave_up;
     // Complete unless the router hit its cycle cap and gave up.
     r.verified = !res.gave_up;
   } else {
     std::fprintf(stderr, "unknown scheduler '%s'\n", opt.scheduler.c_str());
     std::exit(2);
   }
+  if (offline) {
+    r.cycles = schedule.num_cycles();
+    {
+      auto t = timers.scope("verify");
+      r.verified = ft::verify_schedule(topo, caps, m, schedule);
+    }
+    if (observer != nullptr) {
+      auto t = timers.scope("replay");
+      ft::replay_schedule(topo, caps, schedule, {}, observer);
+    }
+  }
   return r;
+}
+
+/// out.json -> out.<workload>.json when several workloads share one run.
+std::string derived_path(const std::string& path, const std::string& name,
+                         bool single) {
+  if (single) return path;
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + name;
+  }
+  return path.substr(0, dot) + "." + name + path.substr(dot);
+}
+
+void write_sink_file(const ft::TraceSink& sink, const std::string& path,
+                     bool chrome) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  if (chrome) {
+    sink.write_chrome_trace(out);
+  } else {
+    sink.write_jsonl(out);
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -152,19 +230,47 @@ int main(int argc, char** argv) {
     caps = ft::inject_wire_faults(topo, caps, opt.faults, frng);
   }
 
+  const bool want_trace = !opt.trace_path.empty() || !opt.jsonl_path.empty();
+  const bool want_report = !opt.report_path.empty();
+
+  ft::RunReport report("ftsim");
+  if (want_report) {
+    ft::JsonValue& params = report.params();
+    params["n"] = opt.n;
+    params["w"] = opt.w;
+    params["workload"] = opt.workload;
+    params["scheduler"] = opt.scheduler;
+    params["stack"] = opt.stack;
+    params["faults"] = opt.faults;
+    params["seed"] = opt.seed;
+  }
+
   ft::Rng rng(opt.seed);
   auto workloads = ft::standard_workloads(opt.n, rng);
+  const bool single = opt.workload != "all";
   ft::Table table({"workload", "messages", "lambda", "scheduler", "cycles",
                    "verified"});
   bool matched = false;
   for (const auto& wl : workloads) {
-    if (opt.workload != "all" && wl.name != opt.workload) continue;
+    if (single && wl.name != opt.workload) continue;
     matched = true;
     ft::MessageSet m = wl.messages;
     for (std::uint32_t k = 1; k < opt.stack; ++k) {
       m.insert(m.end(), wl.messages.begin(), wl.messages.end());
     }
-    const auto r = run_one(topo, caps, m, opt);
+
+    // Observation is opt-in: without --trace/--report the run is exactly
+    // the old unobserved path.
+    ft::EngineMetrics metrics;
+    ft::TraceSink trace;
+    ft::ObserverFanout fanout;
+    if (want_report) fanout.add(&metrics);
+    if (want_trace) fanout.add(&trace);
+    ft::EngineObserver* observer =
+        (want_report || want_trace) ? &fanout : nullptr;
+
+    ft::PhaseTimers timers;
+    const auto r = run_one(topo, caps, m, opt, observer, timers);
     table.row()
         .add(wl.name)
         .add(m.size())
@@ -172,6 +278,26 @@ int main(int argc, char** argv) {
         .add(opt.scheduler)
         .add(r.cycles)
         .add(r.verified ? "yes" : "NO");
+
+    if (!opt.trace_path.empty()) {
+      write_sink_file(trace, derived_path(opt.trace_path, wl.name, single),
+                      /*chrome=*/true);
+    }
+    if (!opt.jsonl_path.empty()) {
+      write_sink_file(trace, derived_path(opt.jsonl_path, wl.name, single),
+                      /*chrome=*/false);
+    }
+    if (want_report) {
+      ft::JsonValue& run = report.add_run(wl.name);
+      run["messages"] = static_cast<std::uint64_t>(m.size());
+      run["lambda"] = r.lambda;
+      run["scheduler"] = opt.scheduler;
+      run["cycles"] = static_cast<std::uint64_t>(r.cycles);
+      run["verified"] = r.verified;
+      run["gave_up"] = r.gave_up;
+      run["engine"] = metrics.to_json();
+      run["phases"] = timers.to_json();
+    }
   }
   if (!matched) {
     std::fprintf(stderr, "unknown workload '%s'\n", opt.workload.c_str());
@@ -187,6 +313,9 @@ int main(int argc, char** argv) {
                     (opt.faults > 0 ? " faults=" + ft::format_double(
                                                        opt.faults, 2)
                                     : ""));
+  }
+  if (want_report && report.write_file(opt.report_path)) {
+    std::fprintf(stderr, "wrote %s\n", opt.report_path.c_str());
   }
   return 0;
 }

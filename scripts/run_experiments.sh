@@ -1,11 +1,22 @@
 #!/bin/sh
 # Regenerates every experiment table (E1-E15 + microbenchmarks) from a
 # configured build directory (default: build). Output mirrors
-# bench_output.txt at the repository root.
+# bench_output.txt at the repository root. Machine-readable artifacts —
+# the schema-versioned report_*.json RunReports and BENCH_*.json — are
+# collected into a reports directory (default: reports).
 set -e
 BUILD_DIR="${1:-build}"
+REPORT_DIR="${2:-reports}"
+mkdir -p "$REPORT_DIR"
 for b in "$BUILD_DIR"/bench/*; do
+  if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
   echo
   echo "############ $b ############"
   "$b"
 done
+for f in report_*.json BENCH_*.json; do
+  if [ -f "$f" ]; then mv "$f" "$REPORT_DIR/$f"; fi
+done
+echo
+echo "collected RunReports into $REPORT_DIR/:"
+ls -1 "$REPORT_DIR"

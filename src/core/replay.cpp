@@ -24,6 +24,13 @@ class ViolationCounter final : public EngineObserver {
     if (next_ != nullptr) next_->on_cycle(s);
   }
 
+  bool wants_message_events() const override {
+    return next_ != nullptr && next_->wants_message_events();
+  }
+  void on_message_event(const MessageEvent& e) override {
+    next_->on_message_event(e);
+  }
+
   std::uint64_t violations() const { return violations_; }
 
  private:

@@ -131,6 +131,11 @@ EngineResult CycleEngine::run_lossy(
   buckets_.resize(num_channels);
   pending_.clear();
 
+  // Message-event tracing is sampled once per run; when off, the only
+  // cost below is one predictable branch per cycle.
+  const bool trace = observer != nullptr && observer->wants_message_events();
+  std::uint32_t next_id = 0;
+
   std::size_t next_batch = 0;
   while (next_batch < batches.size() || !pending_.empty()) {
     const std::uint32_t cycle = result.cycles + 1;
@@ -138,16 +143,33 @@ EngineResult CycleEngine::run_lossy(
     if (next_batch < batches.size()) {
       for (const EnginePath& path : batches[next_batch]) {
         graph_.check_path(path);
+        const std::uint32_t id = next_id++;
         if (path.empty()) {
           ++delivered_now;  // local delivery, no channel used
+          if (trace) {
+            observer->on_message_event(
+                {MessageEventKind::Inject, id, cycle, kNoChannel});
+            observer->on_message_event(
+                {MessageEventKind::Deliver, id, cycle, kNoChannel});
+          }
         } else {
-          pending_.push_back(Pending{&path, 0});
+          pending_.push_back(Pending{&path, 0, id});
+          if (trace) {
+            observer->on_message_event(
+                {MessageEventKind::Inject, id, cycle, path.front()});
+          }
         }
       }
       ++next_batch;
     }
     const std::size_t pending_before = pending_.size();
     result.total_attempts += pending_before;
+    if (trace) {
+      for (const Pending& p : pending_) {
+        observer->on_message_event(
+            {MessageEventKind::Attempt, p.id, cycle, p.path->front()});
+      }
+    }
 
     alive_.assign(pending_.size(), 1);
     for (Pending& p : pending_) p.cursor = 0;
@@ -165,7 +187,21 @@ EngineResult CycleEngine::run_lossy(
       }
     }
 
-    // Survivors are delivered; the rest retry next cycle.
+    // Survivors are delivered; the rest retry next cycle. A loser's
+    // cursor stops at the channel whose lottery it lost, which is the
+    // Loss event's channel.
+    if (trace) {
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const Pending& p = pending_[i];
+        if (alive_[i]) {
+          observer->on_message_event(
+              {MessageEventKind::Deliver, p.id, cycle, kNoChannel});
+        } else {
+          observer->on_message_event(
+              {MessageEventKind::Loss, p.id, cycle, (*p.path)[p.cursor]});
+        }
+      }
+    }
     std::size_t kept = 0;
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (alive_[i]) {
@@ -199,6 +235,12 @@ EngineResult CycleEngine::run_lossy(
       break;
     }
   }
+  if (result.gave_up && trace) {
+    for (const Pending& p : pending_) {
+      observer->on_message_event(
+          {MessageEventKind::GiveUp, p.id, result.cycles, kNoChannel});
+    }
+  }
   return result;
 }
 
@@ -210,21 +252,38 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
   std::vector<std::uint32_t> pos(paths.size(), 0);
   carried_.assign(num_channels, 0);
 
+  const bool trace = observer != nullptr && observer->wants_message_events();
+
   std::size_t in_flight = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
     result.total_hops += paths[i].size();
     if (paths[i].empty()) {
       ++result.delivered;  // local message, finishes at round 0
+      if (trace) {
+        observer->on_message_event(
+            {MessageEventKind::Inject, id, 0, kNoChannel});
+        observer->on_message_event(
+            {MessageEventKind::Deliver, id, 0, kNoChannel});
+      }
       continue;
     }
-    queues[paths[i][0]].push_back(static_cast<std::uint32_t>(i));
+    queues[paths[i][0]].push_back(id);
     ++in_flight;
+    if (trace) {
+      observer->on_message_event(
+          {MessageEventKind::Inject, id, 0, paths[i][0]});
+    }
   }
 
   // Each round every channel forwards up to its capacity in FIFO order;
   // arrivals are buffered so a message moves at most one hop per round.
+  // When tracing, each range logs its Hop/Deliver events; the serial
+  // merge below replays them in range (= ascending channel) order, so the
+  // event stream is identical at any thread count.
   struct RangeOut {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
+    std::vector<MessageEvent> events;
     double latency_sum = 0.0;
     std::uint32_t finished = 0;
     std::uint64_t forwards = 0;
@@ -245,6 +304,7 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
   auto process_range = [&](std::size_t r, std::uint32_t round) {
     RangeOut& out = outs[r];
     out.arrivals.clear();
+    out.events.clear();
     out.latency_sum = 0.0;
     out.finished = 0;
     out.forwards = 0;
@@ -261,9 +321,17 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
         q.pop_front();
         out.moved = true;
         ++out.forwards;
+        if (trace) {
+          out.events.push_back({MessageEventKind::Hop, msg, round,
+                                static_cast<std::uint32_t>(lid)});
+        }
         if (++pos[msg] == paths[msg].size()) {
           out.latency_sum += round;
           ++out.finished;
+          if (trace) {
+            out.events.push_back({MessageEventKind::Deliver, msg, round,
+                                  static_cast<std::uint32_t>(lid)});
+          }
         } else {
           out.arrivals.emplace_back(paths[msg][pos[msg]], msg);
         }
@@ -295,6 +363,11 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
       round_forwards += out.forwards;
       round_peak = std::max(round_peak, out.max_queue);
       for (const auto& [lid, msg] : out.arrivals) queues[lid].push_back(msg);
+      if (trace) {
+        for (const MessageEvent& e : out.events) {
+          observer->on_message_event(e);
+        }
+      }
     }
     result.total_attempts += round_forwards;
     FT_CHECK_MSG(moved, "FIFO engine made no progress");
@@ -320,6 +393,15 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
         in_flight > 0) {
       result.gave_up = true;
       break;
+    }
+  }
+  if (result.gave_up && trace) {
+    for (std::size_t lid = 0; lid < num_channels; ++lid) {
+      for (const std::uint32_t msg : queues[lid]) {
+        observer->on_message_event({MessageEventKind::GiveUp, msg,
+                                    result.cycles,
+                                    static_cast<std::uint32_t>(lid)});
+      }
     }
   }
   return result;

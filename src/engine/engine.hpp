@@ -96,6 +96,7 @@ class CycleEngine {
   struct Pending {
     const EnginePath* path;
     std::uint32_t cursor;  ///< next channel position within the cycle
+    std::uint32_t id;      ///< injection-order message id (trace events)
   };
 
   std::uint64_t channel_limit(std::size_t channel) const;

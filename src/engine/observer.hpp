@@ -3,9 +3,19 @@
 // it to an observer from the coordinating thread — callbacks are always
 // serial and in cycle order, even when the engine resolves contention in
 // parallel, so observers need no locking.
+//
+// Observers can additionally opt in to per-message lifecycle events
+// (wants_message_events()). Those too are emitted only from the serial
+// coordination path, in a deterministic order that does not depend on
+// thread count, and the engine skips all event bookkeeping when no
+// observer asks for them — tracing is zero-cost when disabled.
+//
+// Ready-made observers (EngineMetrics, TraceSink, ObserverFanout) live in
+// the observability layer, src/obs/.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "engine/channel_graph.hpp"
@@ -27,81 +37,43 @@ struct CycleSnapshot {
   const ChannelGraph* graph = nullptr;
 };
 
+/// Sentinel channel for events that are not tied to one channel (local
+/// delivery, give-up).
+inline constexpr std::uint32_t kNoChannel =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Per-message lifecycle event taxonomy. Lossy (RandomSubset/Tally) runs
+/// emit Inject, Attempt, Loss, Deliver, GiveUp; FIFO runs emit Inject,
+/// Hop, Deliver, GiveUp. A run that gives up reports GiveUp only for
+/// messages that were already injected (batches never injected leave no
+/// events).
+enum class MessageEventKind : std::uint8_t {
+  Inject,   ///< message entered the engine (channel = first path channel)
+  Attempt,  ///< lossy: message contends for its full path this cycle
+  Hop,      ///< FIFO: message was forwarded across `channel` this round
+  Loss,     ///< lossy: message lost the arbitration lottery at `channel`
+  Deliver,  ///< message reached its destination this cycle/round
+  GiveUp,   ///< engine hit max_cycles with the message still undelivered
+};
+
+struct MessageEvent {
+  MessageEventKind kind = MessageEventKind::Inject;
+  std::uint32_t message = 0;  ///< injection-order id within the run
+  std::uint32_t cycle = 0;    ///< 0 = before the first FIFO round
+  std::uint32_t channel = kNoChannel;
+
+  friend bool operator==(const MessageEvent&, const MessageEvent&) = default;
+};
+
 class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
   virtual void on_cycle(const CycleSnapshot& snapshot) = 0;
-};
 
-/// Ready-made observer: per-cycle and per-level counters plus a channel
-/// utilization histogram — the instrumentation consumed by the bench/
-/// experiments. Reusable across runs via reset().
-class EngineMetrics final : public EngineObserver {
- public:
-  static constexpr std::size_t kHistogramBins = 10;
-
-  void on_cycle(const CycleSnapshot& s) override {
-    attempts_per_cycle.push_back(s.attempts);
-    losses_per_cycle.push_back(s.losses);
-    delivered_per_cycle.push_back(s.delivered);
-    if (s.peak_queue > peak_queue_depth) peak_queue_depth = s.peak_queue;
-    if (s.graph == nullptr || s.carried == nullptr) return;
-    const ChannelGraph& g = *s.graph;
-    if (carried_by_level.size() < g.num_levels) {
-      carried_by_level.resize(g.num_levels, 0);
-      capacity_by_level.resize(g.num_levels, 0);
-    }
-    if (utilization_histogram.empty()) {
-      utilization_histogram.assign(kHistogramBins, 0);
-    }
-    for (std::size_t c = 0; c < g.num_channels(); ++c) {
-      if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
-      const std::uint32_t carried = (*s.carried)[c];
-      carried_by_level[g.level[c]] += carried;
-      capacity_by_level[g.level[c]] += g.capacity[c];
-      const double u = static_cast<double>(carried) /
-                       static_cast<double>(g.capacity[c]);
-      auto bin = static_cast<std::size_t>(u * kHistogramBins);
-      if (bin >= kHistogramBins) bin = kHistogramBins - 1;
-      ++utilization_histogram[bin];
-    }
-  }
-
-  void reset() { *this = EngineMetrics{}; }
-
-  std::uint32_t cycles() const {
-    return static_cast<std::uint32_t>(delivered_per_cycle.size());
-  }
-  std::uint64_t total_attempts() const { return sum(attempts_per_cycle); }
-  std::uint64_t total_losses() const { return sum(losses_per_cycle); }
-
-  /// Mean carried/capacity over channel-cycles at one level tag.
-  double level_utilization(std::uint32_t level) const {
-    if (level >= carried_by_level.size() || capacity_by_level[level] == 0) {
-      return 0.0;
-    }
-    return static_cast<double>(carried_by_level[level]) /
-           static_cast<double>(capacity_by_level[level]);
-  }
-
-  // Per-cycle counters, index = cycle - 1.
-  std::vector<std::uint64_t> attempts_per_cycle;
-  std::vector<std::uint64_t> losses_per_cycle;
-  std::vector<std::uint32_t> delivered_per_cycle;
-  // Per-level tallies over all cycles, index = ChannelGraph::level.
-  std::vector<std::uint64_t> carried_by_level;
-  std::vector<std::uint64_t> capacity_by_level;  ///< channel-cycle wire slots
-  /// Histogram of per-channel-per-cycle utilization (bin i covers
-  /// [i/10, (i+1)/10), last bin includes 1.0).
-  std::vector<std::uint64_t> utilization_histogram;
-  std::uint32_t peak_queue_depth = 0;
-
- private:
-  static std::uint64_t sum(const std::vector<std::uint64_t>& v) {
-    std::uint64_t t = 0;
-    for (auto x : v) t += x;
-    return t;
-  }
+  /// Opt-in for per-message events. Sampled once per run; when false the
+  /// engine emits nothing and pays only one branch per cycle.
+  virtual bool wants_message_events() const { return false; }
+  virtual void on_message_event(const MessageEvent& /*event*/) {}
 };
 
 }  // namespace ft

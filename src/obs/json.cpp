@@ -1,0 +1,383 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ft {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Shortest round-trip representation; JSON has no inf/nan, emit null.
+void write_double(std::ostream& os, double d) {
+  if (d != d || d == 1.0 / 0.0 || d == -1.0 / 0.0) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  FT_CHECK(ec == std::errc{});
+  os.write(buf, ptr - buf);
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool eat_word(std::string_view w) {
+    if (text.substr(pos, w.size()) == w) {
+      pos += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return false;
+            }
+            // UTF-8 encode the BMP code point (we never write surrogate
+            // pairs; a lone surrogate decodes as-is for tolerance).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > 128) return false;
+    skip_ws();
+    if (pos >= text.size()) return false;
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out = JsonValue::object();
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        out[key] = std::move(v);
+        skip_ws();
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out = JsonValue::array();
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        JsonValue v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.push_back(std::move(v));
+        skip_ws();
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = JsonValue(std::move(s));
+      return true;
+    }
+    if (eat_word("true")) {
+      out = JsonValue(true);
+      return true;
+    }
+    if (eat_word("false")) {
+      out = JsonValue(false);
+      return true;
+    }
+    if (eat_word("null")) {
+      out = JsonValue();
+      return true;
+    }
+    // Number: scan the token, prefer integer representations.
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) return false;
+    const bool integral =
+        tok.find('.') == std::string_view::npos &&
+        tok.find('e') == std::string_view::npos &&
+        tok.find('E') == std::string_view::npos;
+    if (integral && tok[0] != '-') {
+      std::uint64_t u = 0;
+      const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out = JsonValue(u);
+        return true;
+      }
+    }
+    if (integral) {
+      std::int64_t i = 0;
+      const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out = JsonValue(i);
+        return true;
+      }
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) return false;
+    out = JsonValue(d);
+    return true;
+  }
+};
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  FT_CHECK_MSG(kind_ == Kind::Object, "operator[] on a non-object JsonValue");
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(std::string(key), JsonValue());
+  return obj_.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  FT_CHECK_MSG(kind_ == Kind::Array, "push_back on a non-array JsonValue");
+  arr_.push_back(std::move(v));
+  return arr_.back();
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::Array) return arr_.size();
+  if (kind_ == Kind::Object) return obj_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  FT_CHECK_MSG(kind_ == Kind::Array && i < arr_.size(),
+               "JsonValue::at out of range");
+  return arr_[i];
+}
+
+double JsonValue::as_double() const {
+  switch (rep_) {
+    case NumRep::Double: return num_;
+    case NumRep::Int: return static_cast<double>(int_);
+    case NumRep::Uint: return static_cast<double>(uint_);
+  }
+  return 0.0;
+}
+
+std::int64_t JsonValue::as_int() const {
+  switch (rep_) {
+    case NumRep::Double: return static_cast<std::int64_t>(num_);
+    case NumRep::Int: return int_;
+    case NumRep::Uint: return static_cast<std::int64_t>(uint_);
+  }
+  return 0;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  switch (rep_) {
+    case NumRep::Double: return static_cast<std::uint64_t>(num_);
+    case NumRep::Int: return static_cast<std::uint64_t>(int_);
+    case NumRep::Uint: return uint_;
+  }
+  return 0;
+}
+
+void JsonValue::write_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    os << '\n';
+    for (int i = 0; i < indent * d; ++i) os << ' ';
+  };
+  switch (kind_) {
+    case Kind::Null:
+      os << "null";
+      break;
+    case Kind::Bool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::Number:
+      if (rep_ == NumRep::Int) {
+        os << int_;
+      } else if (rep_ == NumRep::Uint) {
+        os << uint_;
+      } else {
+        write_double(os, num_);
+      }
+      break;
+    case Kind::String:
+      write_escaped(os, str_);
+      break;
+    case Kind::Array: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      bool first = true;
+      for (const JsonValue& v : arr_) {
+        if (!first) os << ',';
+        first = false;
+        newline(depth + 1);
+        v.write_impl(os, indent, depth + 1);
+      }
+      newline(depth);
+      os << ']';
+      break;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) os << ',';
+        first = false;
+        newline(depth + 1);
+        write_escaped(os, k);
+        os << (indent > 0 ? ": " : ":");
+        v.write_impl(os, indent, depth + 1);
+      }
+      newline(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v;
+  if (!p.parse_value(v, 0)) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace ft

@@ -1,0 +1,101 @@
+// Minimal JSON document model for the observability layer: build a value
+// tree, write it with stable (insertion-order) keys, and parse it back.
+// One representation serves every machine-readable artifact the repo
+// emits — run reports, trace files, BENCH_*.json — so their schemas stay
+// uniform and round-trip testable without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ft {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::Number), rep_(NumRep::Double), num_(d) {}
+  JsonValue(std::int64_t i) : kind_(Kind::Number), rep_(NumRep::Int), int_(i) {}
+  JsonValue(std::uint64_t u)
+      : kind_(Kind::Number), rep_(NumRep::Uint), uint_(u) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(unsigned u) : JsonValue(static_cast<std::uint64_t>(u)) {}
+  JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::String), str_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Object lookup, creating the key (and coercing a null value into an
+  /// object) on first use — the natural way to build documents.
+  JsonValue& operator[](std::string_view key);
+  /// Const lookup: nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Array append (coerces a null value into an array).
+  JsonValue& push_back(JsonValue v);
+
+  /// Element count of an array or object; 0 otherwise.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+
+  bool as_bool() const { return bool_; }
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const { return str_; }
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+  const std::vector<JsonValue>& items() const { return arr_; }
+
+  /// Pretty-printed when indent > 0, single-line when indent == 0.
+  void write(std::ostream& os, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+  /// Strict-enough parser for everything this repo writes (objects,
+  /// arrays, strings with escapes, numbers, bools, null). Returns nullopt
+  /// on malformed input or trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+ private:
+  enum class NumRep : std::uint8_t { Double, Int, Uint };
+
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  NumRep rep_ = NumRep::Double;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace ft

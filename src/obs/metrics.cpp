@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace ft {
+namespace {
+
+template <typename T>
+T* find_named(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+              std::string_view name) {
+  for (auto& [k, p] : v) {
+    if (k == name) return p.get();
+  }
+  return nullptr;
+}
+
+template <typename T>
+const T* find_named(
+    const std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+    std::string_view name) {
+  for (const auto& [k, p] : v) {
+    if (k == name) return p.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (Counter* c = find_named(counters_, name)) return *c;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (Gauge* g = find_named(gauges_, name)) return *g;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins) {
+  if (Histogram* h = find_named(histograms_, name)) {
+    FT_CHECK_MSG(h->lo() == lo && h->hi() == hi && h->num_bins() == bins,
+                 "histogram re-registered with a different shape");
+    return *h;
+  }
+  histograms_.emplace_back(std::string(name),
+                           std::make_unique<Histogram>(lo, hi, bins));
+  return *histograms_.back().second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_named(counters_, name);
+}
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_named(gauges_, name);
+}
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_named(histograms_, name);
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [k, c] : counters_) c->reset();
+  for (auto& [k, g] : gauges_) g->reset();
+  for (auto& [k, h] : histograms_) h->reset();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue out = JsonValue::object();
+  if (!counters_.empty()) {
+    JsonValue& c = out["counters"];
+    for (const auto& [k, v] : counters_) c[k] = v->value();
+  }
+  if (!gauges_.empty()) {
+    JsonValue& g = out["gauges"];
+    for (const auto& [k, v] : gauges_) g[k] = v->value();
+  }
+  if (!histograms_.empty()) {
+    JsonValue& hs = out["histograms"];
+    for (const auto& [k, v] : histograms_) {
+      JsonValue& h = hs[k];
+      h["lo"] = v->lo();
+      h["hi"] = v->hi();
+      JsonValue& bins = h["bins"];
+      bins = JsonValue::array();
+      for (std::size_t i = 0; i < v->num_bins(); ++i) {
+        bins.push_back(v->bin_count(i));
+      }
+      h["underflow"] = v->underflow();
+      h["overflow"] = v->overflow();
+    }
+  }
+  return out;
+}
+
+EngineMetrics::EngineMetrics()
+    : attempts_(&registry_.counter("engine.attempts")),
+      losses_(&registry_.counter("engine.losses")),
+      delivered_(&registry_.counter("engine.delivered")),
+      peak_queue_(&registry_.gauge("engine.peak_queue_depth")),
+      util_hist_(&registry_.histogram("engine.channel_utilization", 0.0, 1.0,
+                                      kHistogramBins)) {}
+
+void EngineMetrics::on_cycle(const CycleSnapshot& s) {
+  attempts_per_cycle.push_back(s.attempts);
+  losses_per_cycle.push_back(s.losses);
+  delivered_per_cycle.push_back(s.delivered);
+  attempts_->add(s.attempts);
+  losses_->add(s.losses);
+  delivered_->add(s.delivered);
+  if (s.peak_queue > peak_queue_->value()) peak_queue_->set(s.peak_queue);
+  if (s.graph == nullptr || s.carried == nullptr) return;
+
+  const ChannelGraph& g = *s.graph;
+  if (graph_seen_) {
+    // Aggregating over a different topology shape silently blends
+    // incomparable per-level tallies; make the caller reset() first.
+    FT_CHECK_MSG(
+        g.num_channels() == graph_channels_ && g.num_levels == graph_levels_,
+        "EngineMetrics observed a different graph shape; call reset() "
+        "between runs over different topologies");
+  } else {
+    graph_seen_ = true;
+    graph_channels_ = g.num_channels();
+    graph_levels_ = g.num_levels;
+    carried_by_level_.assign(g.num_levels, 0);
+    capacity_by_level_.assign(g.num_levels, 0);
+  }
+
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
+    const std::uint32_t carried = (*s.carried)[c];
+    carried_by_level_[g.level[c]] += carried;
+    capacity_by_level_[g.level[c]] += g.capacity[c];
+    util_hist_->observe(static_cast<double>(carried) /
+                        static_cast<double>(g.capacity[c]));
+  }
+}
+
+void EngineMetrics::reset() {
+  registry_.reset();
+  attempts_per_cycle.clear();
+  losses_per_cycle.clear();
+  delivered_per_cycle.clear();
+  carried_by_level_.clear();
+  capacity_by_level_.clear();
+  graph_channels_ = 0;
+  graph_levels_ = 0;
+  graph_seen_ = false;
+}
+
+double EngineMetrics::level_utilization(std::uint32_t level) const {
+  if (level >= carried_by_level_.size() || capacity_by_level_[level] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(carried_by_level_[level]) /
+         static_cast<double>(capacity_by_level_[level]);
+}
+
+JsonValue EngineMetrics::to_json() const {
+  JsonValue out = registry_.to_json();
+  out["cycles"] = cycles();
+  out["loss_rate"] = loss_rate();
+  JsonValue& levels = out["level_utilization"];
+  levels = JsonValue::array();
+  for (std::uint32_t k = 0; k < num_levels(); ++k) {
+    levels.push_back(level_utilization(k));
+  }
+  return out;
+}
+
+}  // namespace ft

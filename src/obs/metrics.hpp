@@ -1,0 +1,176 @@
+// Metrics registry for the observability layer: named counters, gauges,
+// and fixed-bin histograms with uniform JSON export. EngineMetrics — the
+// ready-made CycleEngine observer shared by all four simulator frontends
+// (route_online, replay_schedule, simulate_store_forward,
+// simulate_kary_permutation) — is built on the registry, and ObserverFanout
+// lets several observers (metrics + trace sink) ride one engine run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/observer.hpp"
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace ft {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Histogram (closed top bin, explicit underflow/overflow) lives in
+// util/stats.hpp — the registry reuses it for named instruments.
+
+/// Named instruments with get-or-create semantics and deterministic
+/// (insertion-order) JSON export. Handles returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Re-requesting an existing histogram asserts the same shape.
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t bins);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zeroes every instrument but keeps registrations (and handles) alive.
+  void reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {lo, hi,
+  ///  bins: [...], underflow, overflow}}} — empty sections omitted.
+  JsonValue to_json() const;
+
+ private:
+  // Deques would also work; unique_ptr keeps handles stable under growth.
+  template <typename T>
+  using Named = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+  Named<Counter> counters_;
+  Named<Gauge> gauges_;
+  Named<Histogram> histograms_;
+};
+
+/// Ready-made observer: per-cycle and per-level counters plus a channel
+/// utilization histogram — the instrumentation consumed by the bench/
+/// experiments and RunReports. Reusable across runs over the *same*
+/// topology shape via plain aggregation; observing a graph of a different
+/// shape without reset() is a checked error (it used to silently blend
+/// per-level tallies of different topologies).
+class EngineMetrics final : public EngineObserver {
+ public:
+  static constexpr std::size_t kHistogramBins = 10;
+
+  EngineMetrics();
+
+  void on_cycle(const CycleSnapshot& s) override;
+
+  void reset();
+
+  std::uint32_t cycles() const {
+    return static_cast<std::uint32_t>(delivered_per_cycle.size());
+  }
+  std::uint64_t total_attempts() const { return attempts_->value(); }
+  std::uint64_t total_losses() const { return losses_->value(); }
+  std::uint64_t total_delivered() const { return delivered_->value(); }
+  double loss_rate() const {
+    const std::uint64_t a = total_attempts();
+    return a == 0 ? 0.0
+                  : static_cast<double>(total_losses()) /
+                        static_cast<double>(a);
+  }
+  std::uint32_t peak_queue_depth() const {
+    return static_cast<std::uint32_t>(peak_queue_->value());
+  }
+
+  /// Mean carried/capacity over channel-cycles at one level tag.
+  double level_utilization(std::uint32_t level) const;
+  std::uint32_t num_levels() const {
+    return static_cast<std::uint32_t>(carried_by_level_.size());
+  }
+
+  /// Per-channel-per-cycle utilization histogram over [0, 1]; overloaded
+  /// channel-cycles (carried > capacity) land in overflow().
+  const Histogram& utilization_histogram() const { return *util_hist_; }
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
+  /// Registry instruments plus the per-level utilization profile — the
+  /// "engine" section of a RunReport.
+  JsonValue to_json() const;
+
+  // Per-cycle counters, index = cycle - 1.
+  std::vector<std::uint64_t> attempts_per_cycle;
+  std::vector<std::uint64_t> losses_per_cycle;
+  std::vector<std::uint32_t> delivered_per_cycle;
+
+ private:
+  MetricsRegistry registry_;
+  Counter* attempts_;
+  Counter* losses_;
+  Counter* delivered_;
+  Gauge* peak_queue_;
+  Histogram* util_hist_;
+  // Per-level tallies over all cycles, index = ChannelGraph::level.
+  std::vector<std::uint64_t> carried_by_level_;
+  std::vector<std::uint64_t> capacity_by_level_;
+  // Shape of the first graph observed since reset(); guards against
+  // silently blending runs over different topologies.
+  std::size_t graph_channels_ = 0;
+  std::uint32_t graph_levels_ = 0;
+  bool graph_seen_ = false;
+};
+
+/// Fans one engine run out to several observers (e.g. EngineMetrics plus
+/// a TraceSink). Message events are forwarded only to targets that want
+/// them.
+class ObserverFanout final : public EngineObserver {
+ public:
+  /// nullptr targets are ignored, so optional observers chain cleanly.
+  void add(EngineObserver* target) {
+    if (target != nullptr) targets_.push_back(target);
+  }
+
+  void on_cycle(const CycleSnapshot& s) override {
+    for (EngineObserver* t : targets_) t->on_cycle(s);
+  }
+  bool wants_message_events() const override {
+    for (const EngineObserver* t : targets_) {
+      if (t->wants_message_events()) return true;
+    }
+    return false;
+  }
+  void on_message_event(const MessageEvent& e) override {
+    for (EngineObserver* t : targets_) {
+      if (t->wants_message_events()) t->on_message_event(e);
+    }
+  }
+
+ private:
+  std::vector<EngineObserver*> targets_;
+};
+
+}  // namespace ft

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace ft {
 
 /// Streaming accumulator (Welford) for mean and variance.
@@ -43,23 +45,61 @@ struct LinearFit {
 LinearFit linear_fit(const std::vector<double>& x,
                      const std::vector<double>& y);
 
-/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
-/// the range clamp to the end buckets.
+/// Histogram over [lo, hi] with `bins` equal-width bins. The top bin is
+/// closed (x == hi lands in it); x > hi counts as overflow and x < lo as
+/// underflow rather than being silently clamped — a channel carrying more
+/// than its capacity (utilization > 1, possible under Tally replay of an
+/// invalid schedule) is overload and must stay visible.
 class Histogram {
  public:
-  Histogram(double lo, double hi, std::size_t bins);
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    FT_CHECK_MSG(bins > 0 && hi > lo, "histogram needs bins > 0 and hi > lo");
+  }
 
-  void add(double x);
-  std::size_t bucket_count() const { return counts_.size(); }
-  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
-  double bucket_lo(std::size_t i) const;
-  std::uint64_t total() const { return total_; }
+  void observe(double x) {
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x > hi_) {
+      ++overflow_;
+    } else {
+      auto bin = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                          static_cast<double>(counts_.size()));
+      if (bin >= counts_.size()) bin = counts_.size() - 1;  // x == hi
+      ++counts_[bin];
+    }
+  }
+
+  std::size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+  double bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// All observations, including underflow/overflow.
+  std::uint64_t total() const {
+    std::uint64_t t = underflow_ + overflow_;
+    for (const std::uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  void reset() {
+    underflow_ = overflow_ = 0;
+    counts_.assign(counts_.size(), 0);
+  }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::uint64_t> counts_;
-  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace ft

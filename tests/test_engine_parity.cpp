@@ -17,6 +17,8 @@
 #include "nets/builders.hpp"
 #include "nets/routing.hpp"
 #include "nets/store_forward.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ft {
 namespace {
@@ -183,19 +185,86 @@ TEST(EngineParity, MetricsObserverMatchesResult) {
                       metrics.delivered_per_cycle.end(), std::uint64_t{0});
   EXPECT_EQ(metrics.total_attempts() - metrics.total_losses(),
             engine_delivered);
-  EXPECT_EQ(metrics.peak_queue_depth, 0u);  // lossy mode never queues
+  EXPECT_EQ(metrics.peak_queue_depth(), 0u);  // lossy mode never queues
 
   // The utilization histogram covers every wire-budget channel once per
   // cycle: (num_nodes - 1) node channels x 2 directions.
   const std::uint64_t budget_channels = (t.num_nodes() - 1) * 2ull;
-  const auto hist_total =
-      std::accumulate(metrics.utilization_histogram.begin(),
-                      metrics.utilization_histogram.end(), std::uint64_t{0});
-  EXPECT_EQ(hist_total, budget_channels * metrics.cycles());
+  EXPECT_EQ(metrics.utilization_histogram().total(),
+            budget_channels * metrics.cycles());
 
   const double root_util = metrics.level_utilization(1);
   EXPECT_GT(root_util, 0.0);
   EXPECT_LE(root_util, 1.0);
+}
+
+// The traced event stream must be byte-identical in serial and parallel
+// mode: lossy events are derived on the coordinating thread, and FIFO
+// per-range event logs are replayed in ascending-channel range order.
+TEST(EngineParity, LossyTraceSerialEqualsParallel) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(71);
+  const auto m = stacked_permutations(n, 4, gen);
+  // Self messages are delivered locally without entering the engine, so
+  // they emit no events.
+  std::uint64_t routed = 0;
+  for (const auto& msg : m) {
+    if (msg.src != msg.dst) ++routed;
+  }
+
+  std::vector<std::vector<MessageEvent>> streams;
+  for (const bool parallel : {false, true}) {
+    TraceSink trace;
+    Rng rng(72);
+    OnlineRouterOptions opts;
+    opts.parallel = parallel;
+    opts.observer = &trace;
+    const auto r = route_online(t, caps, m, rng, opts);
+    EXPECT_FALSE(r.gave_up);
+
+    std::uint64_t injects = 0, attempts = 0, losses = 0, delivers = 0;
+    for (const MessageEvent& e : trace.message_events()) {
+      switch (e.kind) {
+        case MessageEventKind::Inject: ++injects; break;
+        case MessageEventKind::Attempt: ++attempts; break;
+        case MessageEventKind::Loss: ++losses; break;
+        case MessageEventKind::Deliver: ++delivers; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(injects, routed);
+    EXPECT_EQ(delivers, routed);
+    EXPECT_EQ(attempts, r.total_attempts);
+    EXPECT_EQ(losses, r.total_losses);
+    streams.push_back(trace.message_events());
+  }
+  EXPECT_EQ(streams[0], streams[1]);
+}
+
+TEST(EngineParity, FifoTraceSerialEqualsParallel) {
+  const auto net = build_hypercube(6);
+  Rng traffic(81);
+  const auto m = random_permutation_traffic(64, traffic);
+  const auto routes = route_all_bfs(net, m);
+
+  std::vector<std::vector<MessageEvent>> streams;
+  for (const bool parallel : {false, true}) {
+    TraceSink trace;
+    StoreForwardOptions opts;
+    opts.parallel = parallel;
+    opts.observer = &trace;
+    const auto r = simulate_store_forward(net, routes, opts);
+
+    std::uint64_t hops = 0;
+    for (const MessageEvent& e : trace.message_events()) {
+      if (e.kind == MessageEventKind::Hop) ++hops;
+    }
+    EXPECT_EQ(hops, r.total_hops);
+    streams.push_back(trace.message_events());
+  }
+  EXPECT_EQ(streams[0], streams[1]);
 }
 
 }  // namespace

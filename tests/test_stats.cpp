@@ -79,19 +79,22 @@ TEST(LinearFit, NoisyLineHasHighR2) {
   EXPECT_GT(fit.r2, 0.999);
 }
 
-TEST(Histogram, BucketsAndClamping) {
+TEST(Histogram, BinsAndOutOfRange) {
   Histogram h(0.0, 10.0, 5);
-  h.add(0.5);   // bucket 0
-  h.add(9.5);   // bucket 4
-  h.add(-3.0);  // clamps to bucket 0
-  h.add(50.0);  // clamps to bucket 4
-  h.add(5.0);   // bucket 2
+  h.observe(0.5);   // bin 0
+  h.observe(9.5);   // bin 4
+  h.observe(-3.0);  // below range: underflow, not clamped
+  h.observe(50.0);  // above range: overflow, not clamped
+  h.observe(5.0);   // bin 2
   EXPECT_EQ(h.total(), 5u);
-  EXPECT_EQ(h.bucket(0), 2u);
-  EXPECT_EQ(h.bucket(2), 1u);
-  EXPECT_EQ(h.bucket(4), 2u);
-  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
-  EXPECT_DOUBLE_EQ(h.bucket_lo(2), 4.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
 }
 
 }  // namespace
