@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json reports (schema ft.bench_engine/2).
+
+Rows are matched by their "name" field and compared on cycles_per_sec.
+Machine noise on shared runners easily reaches +/-10%, so differences
+inside --tolerance (default 0.10) are reported as "ok"; larger moves are
+labeled "faster" / "SLOWER". A file's embedded "baseline" section can
+stand in for either side via the pseudo-path "<file>:baseline".
+
+Exit status is 0 unless --strict is given, in which case any row slower
+than the tolerance fails the run. CI runs this informationally
+(non-blocking): benchmark hosts are too noisy to gate merges on, but the
+table in the log makes regressions visible the day they land.
+
+Usage:
+  bench_compare.py OLD.json NEW.json [--tolerance 0.10] [--strict]
+  bench_compare.py BENCH_engine.json:baseline BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_rows(spec: str) -> dict[str, float]:
+    """Returns {row name: cycles_per_sec} for a file path or
+    "<path>:baseline" pseudo-path."""
+    use_baseline = spec.endswith(":baseline")
+    path = spec[: -len(":baseline")] if use_baseline else spec
+    with open(path) as f:
+        doc = json.load(f)
+    section = doc.get("baseline", {}) if use_baseline else doc
+    rows = {}
+    for entry in section.get("benchmarks", []):
+        name = entry.get("name")
+        rate = entry.get("cycles_per_sec")
+        if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
+            rows[name] = float(rate)
+    if not rows:
+        raise SystemExit(f"error: no benchmark rows in {spec}")
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_engine.json reports with noise tolerance."
+    )
+    parser.add_argument("old", help="baseline report (or <path>:baseline)")
+    parser.add_argument("new", help="candidate report (or <path>:baseline)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative change treated as noise (default 0.10)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any row is slower than the tolerance",
+    )
+    args = parser.parse_args()
+
+    old_rows = load_rows(args.old)
+    new_rows = load_rows(args.new)
+    names = sorted(set(old_rows) | set(new_rows))
+    width = max(len(n) for n in names)
+
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'old c/s':>12}  {'new c/s':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name in names:
+        old = old_rows.get(name)
+        new = new_rows.get(name)
+        if old is None or new is None:
+            side = "old" if old is None else "new"
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>7}  "
+                  f"missing from {side}")
+            continue
+        ratio = new / old
+        if ratio < 1.0 - args.tolerance:
+            verdict = "SLOWER"
+            regressions.append((name, ratio))
+        elif ratio > 1.0 + args.tolerance:
+            verdict = "faster"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) slower than the "
+              f"{args.tolerance:.0%} tolerance:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1 if args.strict else 0
+    print("\nno regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

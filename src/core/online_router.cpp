@@ -15,16 +15,16 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   const std::uint32_t L = topo.height();
 
   // Self messages are delivered locally in the first cycle; everything
-  // else becomes an engine path.
-  std::vector<EnginePath> paths;
-  paths.reserve(m.size());
+  // else is streamed into one CSR path set (the engine's native input).
+  PathSet paths;
+  paths.reserve(m.size(), m.size() * 2ull * L);
   std::uint32_t self_delivered = 0;
   for (const auto& msg : m) {
     if (msg.src == msg.dst) {
       ++self_delivered;
       continue;
     }
-    paths.push_back(fat_tree_engine_path(topo, msg.src, msg.dst));
+    append_fat_tree_path(topo, msg.src, msg.dst, paths);
   }
 
   std::uint32_t max_cycles = opts.max_cycles;

@@ -45,10 +45,10 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
                              const Schedule& schedule,
                              const ReplayOptions& opts,
                              EngineObserver* observer) {
-  std::vector<std::vector<EnginePath>> batches;
+  std::vector<PathSet> batches;
   batches.reserve(schedule.num_cycles());
   for (const MessageSet& cycle : schedule.cycles) {
-    batches.push_back(fat_tree_engine_paths(topo, cycle));
+    batches.push_back(fat_tree_path_set(topo, cycle));
   }
 
   EngineOptions eopts;

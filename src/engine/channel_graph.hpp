@@ -17,6 +17,68 @@ namespace ft {
 /// (src == dst) messages, which cost no channel bandwidth.
 using EnginePath = std::vector<std::uint32_t>;
 
+/// A batch of paths in CSR form: every channel id in one contiguous
+/// buffer, path i occupying channels()[offsets()[i] .. offsets()[i+1]).
+/// This is the engine's native input format — the hot loop walks paths as
+/// flat index ranges instead of chasing one heap vector per message — and
+/// the topology adapters build it directly so a large batch costs two
+/// allocations, not one per message.
+class PathSet {
+ public:
+  PathSet() : offsets_{0} {}
+
+  void reserve(std::size_t paths, std::size_t hops) {
+    offsets_.reserve(paths + 1);
+    channels_.reserve(hops);
+  }
+
+  /// Appends one complete path given as an iterator range of channel ids.
+  template <typename It>
+  void append(It first, It last) {
+    channels_.insert(channels_.end(), first, last);
+    close_path();
+  }
+
+  void push_back(const EnginePath& path) { append(path.begin(), path.end()); }
+
+  /// Streaming interface for builders that emit channels one at a time:
+  /// push_channel() any number of times (possibly zero), then close_path().
+  void push_channel(std::uint32_t channel) { channels_.push_back(channel); }
+  void close_path() {
+    FT_CHECK_MSG(channels_.size() < 0xffffffffULL,
+                 "PathSet overflows 32-bit hop offsets");
+    offsets_.push_back(static_cast<std::uint32_t>(channels_.size()));
+  }
+
+  /// One-shot conversion from any container of vector-like paths
+  /// (std::vector<EnginePath>, std::vector<Route>, std::vector<KaryRoute>).
+  template <typename Paths>
+  static PathSet from_paths(const Paths& paths) {
+    PathSet set;
+    std::size_t hops = 0;
+    for (const auto& p : paths) hops += p.size();
+    set.reserve(paths.size(), hops);
+    for (const auto& p : paths) set.append(p.begin(), p.end());
+    return set;
+  }
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+  std::uint32_t offset(std::size_t i) const { return offsets_[i]; }
+  std::uint32_t length(std::size_t i) const {
+    return offsets_[i + 1] - offsets_[i];
+  }
+  /// Total hops across all paths (== channels().size()).
+  std::size_t total_hops() const { return channels_.size(); }
+
+  const std::vector<std::uint32_t>& channels() const { return channels_; }
+  const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> channels_;
+};
+
 /// Flat channel table. Channel indices need not be dense: slots with
 /// capacity == 0 are treated as nonexistent (the fat-tree model keeps its
 /// node*2+dir indexing, which leaves a few unused slots).
@@ -60,18 +122,26 @@ struct ChannelGraph {
   }
 
   /// Debug validation of one path against this graph: known channels in
-  /// strictly increasing stage order.
-  void check_path(const EnginePath& path) const {
+  /// strictly increasing stage order. The strict increase is also the
+  /// worklist invariant the engine's hot loop relies on — a message's next
+  /// channel always lies in a later stage, so each message is bucketed
+  /// exactly once per cycle.
+  void check_path(const std::uint32_t* first, const std::uint32_t* last) const {
     std::uint32_t prev_stage = 0;
-    bool first = true;
-    for (const std::uint32_t c : path) {
+    bool head = true;
+    for (const std::uint32_t* p = first; p != last; ++p) {
+      const std::uint32_t c = *p;
       FT_CHECK_MSG(c < num_channels() && capacity[c] > 0,
                    "path uses an unknown channel");
-      FT_CHECK_MSG(first || stage[c] > prev_stage,
+      FT_CHECK_MSG(head || stage[c] > prev_stage,
                    "path stages must strictly increase");
       prev_stage = stage[c];
-      first = false;
+      head = false;
     }
+  }
+
+  void check_path(const EnginePath& path) const {
+    check_path(path.data(), path.data() + path.size());
   }
 };
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <deque>
-#include <limits>
+#include <bit>
 
+#include "engine/chunked_ring.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
 
@@ -25,126 +25,471 @@ std::uint64_t arbitration_seed(std::uint64_t seed, std::uint32_t cycle,
 /// as messages deliver, so late cycles drop back to serial automatically.
 constexpr std::size_t kMinParallelWork = 4096;
 
+/// Restores ascending pending order before a bucket's lottery. Buckets
+/// are small (a channel's contenders) and usually already sorted — fed
+/// straight off the ascending seed list, or scrambled only by upstream
+/// lottery winners — so adaptive insertion sort beats std::sort here: the
+/// already-sorted case is one compare per element with no call overhead,
+/// and near-sorted buckets finish in a handful of moves.
+inline void sort_small(std::uint32_t* b, std::size_t n) {
+  if (n > 64) {  // quadratic guard; big buckets are rare
+    if (!std::is_sorted(b, b + n)) std::sort(b, b + n);
+    return;
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    const std::uint32_t x = b[k];
+    std::size_t j = k;
+    for (; j > 0 && b[j - 1] > x; --j) b[j] = b[j - 1];
+    b[j] = x;
+  }
+}
+
+/// Sorts a large bucket by marking its entries — distinct pending-message
+/// indices — in a bit-per-message scratch and reading the bits back in
+/// order: O(n + span/64) with word-at-a-time constants, against
+/// std::sort's n log n comparison sort. `bits` must be all-zero on entry
+/// and is left all-zero: extraction clears each word it reads. Serial
+/// over-loop only (the scratch is shared, so concurrent arbitration
+/// keeps using sort_small).
+inline void sort_by_bitmap(std::uint64_t* bits, std::uint32_t* b,
+                           std::uint32_t n) {
+  std::uint32_t wmin = 0xffffffffu;
+  std::uint32_t wmax = 0;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    const std::uint32_t v = b[t];
+    const std::uint32_t w = v >> 6;
+    bits[w] |= 1ull << (v & 63u);
+    wmin = std::min(wmin, w);
+    wmax = std::max(wmax, w);
+  }
+  std::uint32_t out = 0;
+  for (std::uint32_t w = wmin; w <= wmax; ++w) {
+    std::uint64_t m = bits[w];
+    if (m == 0) continue;
+    bits[w] = 0;
+    const std::uint32_t base = w << 6;
+    do {
+      b[out++] = base + static_cast<std::uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+    } while (m != 0);
+  }
+}
+
+/// Worklist entry layout (see the stage_list_ comment): (msg, channel)
+/// packed into one 64-bit word. A 16+16-bit packing for small runs was
+/// tried and measured ~10% slower despite halving the stream, so the
+/// layout is fixed.
+inline std::uint64_t pack_entry(std::uint32_t msg, std::uint32_t chan) {
+  return (static_cast<std::uint64_t>(msg) << 32) | chan;
+}
+inline std::uint32_t entry_msg(std::uint64_t e) {
+  return static_cast<std::uint32_t>(e >> 32);
+}
+inline std::uint32_t entry_chan(std::uint64_t e) {
+  return static_cast<std::uint32_t>(e);
+}
+
 }  // namespace
 
 CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
     : graph_(std::move(graph)), opts_(opts) {
   FT_CHECK_MSG(opts_.alpha > 0.0, "alpha must be positive");
+  // Admission limits are a pure function of (policy, alpha, capacity), all
+  // fixed at construction: resolve the floating-point math once here so
+  // the per-cycle loop is integer-only.
+  const std::size_t num_channels = graph_.num_channels();
+  // Limits are clamped to 2^32 - 1; counts compared against them are
+  // bounded by the number of live messages, which is below 2^32, so the
+  // clamp never changes an admission decision (see the limit_ comment).
+  constexpr std::uint64_t kMaxLimit = 0xffffffffu;
+  limit_.resize(num_channels);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    switch (opts_.contention) {
+      case ContentionPolicy::Tally:
+        limit_[c] = static_cast<std::uint32_t>(kMaxLimit);
+        break;
+      case ContentionPolicy::Fifo:
+        limit_[c] = static_cast<std::uint32_t>(
+            std::min(graph_.capacity[c], kMaxLimit));
+        break;
+      case ContentionPolicy::RandomSubset:
+        limit_[c] = static_cast<std::uint32_t>(std::min(
+            kMaxLimit,
+            std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       static_cast<double>(graph_.capacity[c]) *
+                       opts_.alpha))));
+        break;
+    }
+  }
+  check_tbl_.resize(num_channels);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    check_tbl_[c] = graph_.capacity[c] > 0 ? graph_.stage[c] + 1 : 0;
+  }
+  narrow_ = num_channels <= 65536 && graph_.num_stages <= 65536;
+  if (narrow_) {
+    stage16_.resize(num_channels);
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      stage16_[c] = static_cast<std::uint16_t>(graph_.stage[c]);
+    }
+  }
   if (opts_.parallel) {
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
   }
 }
 
+template <typename ChanT>
+const auto* CycleEngine::stage_table() const {
+  if constexpr (sizeof(ChanT) == 2) {
+    return stage16_.data();
+  } else {
+    return graph_.stage.data();
+  }
+}
+
 CycleEngine::~CycleEngine() = default;
 
-std::uint64_t CycleEngine::channel_limit(std::size_t channel) const {
-  if (opts_.contention == ContentionPolicy::Tally) {
-    return std::numeric_limits<std::uint64_t>::max();
-  }
-  const auto lim = static_cast<std::uint64_t>(
-      static_cast<double>(graph_.capacity[channel]) * opts_.alpha);
-  return std::max<std::uint64_t>(1, lim);
-}
-
-void CycleEngine::arbitrate_channel(std::uint32_t cycle,
-                                    std::uint32_t channel) {
-  auto& contenders = buckets_[channel];
-  const std::uint64_t limit = channel_limit(channel);
-  if (contenders.size() > limit) {
-    Rng arb(arbitration_seed(opts_.seed, cycle, channel));
-    arb.shuffle(contenders);
-    for (std::size_t j = limit; j < contenders.size(); ++j) {
-      alive_[contenders[j]] = 0;
-    }
-    losses_[channel] =
-        static_cast<std::uint32_t>(contenders.size() - limit);
-    contenders.resize(static_cast<std::size_t>(limit));
-  }
-  carried_[channel] = static_cast<std::uint32_t>(contenders.size());
-  for (const std::uint32_t i : contenders) ++pending_[i].cursor;
-}
-
-void CycleEngine::run_stage(std::uint32_t cycle, std::uint32_t stage) {
-  touched_.clear();
-  std::size_t contenders = 0;
-  for (std::uint32_t i = 0; i < pending_.size(); ++i) {
-    if (!alive_[i]) continue;
-    const Pending& p = pending_[i];
-    if (p.cursor >= p.path->size()) continue;
-    const std::uint32_t c = (*p.path)[p.cursor];
-    if (graph_.stage[c] != stage) continue;
-    if (buckets_[c].empty()) touched_.push_back(c);
-    buckets_[c].push_back(i);
-    ++contenders;
-  }
-  if (pool_ && pool_->size() > 1 && touched_.size() >= 2 &&
-      contenders >= kMinParallelWork) {
-    // Channels of one stage are independent (no path visits two), so
-    // workers own disjoint messages and channel counters. Chunk stealing
-    // balances the skewed contender counts across channels.
-    const std::size_t workers =
-        std::min(pool_->size(), touched_.size());
-    const std::size_t chunk = std::max<std::size_t>(
-        4, touched_.size() / (workers * 8));
-    std::atomic<std::size_t> next{0};
-    pool_->run_tasks(workers, [&](std::size_t) {
-      for (;;) {
-        const std::size_t lo =
-            next.fetch_add(chunk, std::memory_order_relaxed);
-        if (lo >= touched_.size()) return;
-        const std::size_t hi = std::min(touched_.size(), lo + chunk);
-        for (std::size_t j = lo; j < hi; ++j) {
-          arbitrate_channel(cycle, touched_[j]);
-        }
-      }
-    });
-  } else {
-    for (const std::uint32_t c : touched_) arbitrate_channel(cycle, c);
-  }
-}
-
-EngineResult CycleEngine::run(const std::vector<EnginePath>& paths,
-                              EngineObserver* observer) {
+EngineResult CycleEngine::run(const PathSet& paths, EngineObserver* observer) {
   if (opts_.contention == ContentionPolicy::Fifo) {
     return run_fifo(paths, observer);
   }
   if (paths.empty()) return {};
-  const std::vector<std::vector<EnginePath>> batches{paths};
-  return run_lossy(batches, observer);
+  return run_lossy({&paths}, observer);
+}
+
+EngineResult CycleEngine::run(const std::vector<EnginePath>& paths,
+                              EngineObserver* observer) {
+  return run(PathSet::from_paths(paths), observer);
+}
+
+EngineResult CycleEngine::run_batched(const std::vector<PathSet>& batches,
+                                      EngineObserver* observer) {
+  FT_CHECK_MSG(opts_.contention != ContentionPolicy::Fifo,
+               "batched injection requires a lossy or tally policy");
+  std::vector<const PathSet*> ptrs;
+  ptrs.reserve(batches.size());
+  for (const PathSet& b : batches) ptrs.push_back(&b);
+  return run_lossy(ptrs, observer);
 }
 
 EngineResult CycleEngine::run_batched(
     const std::vector<std::vector<EnginePath>>& batches,
     EngineObserver* observer) {
-  FT_CHECK_MSG(opts_.contention != ContentionPolicy::Fifo,
-               "batched injection requires a lossy or tally policy");
-  return run_lossy(batches, observer);
+  std::vector<PathSet> sets;
+  sets.reserve(batches.size());
+  for (const auto& b : batches) sets.push_back(PathSet::from_paths(b));
+  return run_batched(sets, observer);
 }
 
-EngineResult CycleEngine::run_lossy(
-    const std::vector<std::vector<EnginePath>>& batches,
+/// Lays one stage's contenders out in CSR form: bucket j (channel
+/// stage_touched_[stage][j]) becomes arena_[bucket_off_[j] ..
+/// bucket_off_[j+1]). Contender counts were accumulated when the entries
+/// were forwarded, so this is one offset scan plus one fill sweep.
+void CycleEngine::build_buckets(const std::vector<std::uint64_t>& list,
+                                std::uint32_t stage) {
+  const std::vector<std::uint32_t>& touched = stage_touched_[stage];
+  bucket_off_.resize(touched.size() + 1);
+  std::uint32_t total = 0;
+  for (std::size_t j = 0; j < touched.size(); ++j) {
+    bucket_off_[j] = total;
+    const std::uint32_t c = touched[j];
+    const std::uint32_t count = bucket_pos_[c];
+    bucket_pos_[c] = total;  // becomes the fill cursor for the sweep
+    total += count;
+  }
+  bucket_off_[touched.size()] = total;
+  arena_.resize(total);
+  std::uint32_t* const bp = bucket_pos_.data();
+  std::uint32_t* const ar = arena_.data();
+  for (const std::uint64_t e : list) {
+    ar[bp[entry_chan(e)]++] = entry_msg(e);
+  }
+}
+
+void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
+                                   std::size_t bucket) {
+  std::uint32_t* b = arena_.data() + bucket_off_[bucket];
+  const std::size_t size = bucket_off_[bucket + 1] - bucket_off_[bucket];
+  const std::uint64_t limit = limit_[c];
+  if (size > limit) {
+    // The pinned arbitration lottery saw contenders in ascending pending
+    // index (the old engine scanned messages in order); worklist
+    // forwarding scrambles that, so restore the exact sequence first.
+    // Under-limit buckets skip this: with no lottery, order is invisible.
+    sort_small(b, size);
+    Rng arb(arbitration_seed(opts_.seed, cycle, c));
+    // Truncated Fisher–Yates: the full backward shuffle finalizes the
+    // loser block [limit, size) with its first size-limit draws — every
+    // later draw only permutes the winner block [0, limit) — so stopping
+    // there keeps the kept/killed partition bit-identical while skipping
+    // O(limit) tail work. Losers land in lottery order rather than index
+    // order, which nothing observable depends on (see DESIGN.md, "Engine
+    // hot path").
+    for (std::size_t i = size; i > limit; --i) {
+      const std::size_t j = arb.below(i);
+      std::swap(b[i - 1], b[j]);
+    }
+    for (std::size_t k = limit; k < size; ++k) alive_[b[k]] = 0;
+    for (std::size_t k = 0; k < limit; ++k) ++ce_[b[k]];
+  } else {
+    for (std::size_t k = 0; k < size; ++k) ++ce_[b[k]];
+  }
+}
+
+template <typename ChanT>
+void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
+                                     std::uint32_t stage,
+                                     std::uint64_t& cycle_losses,
+                                     std::uint64_t& cycle_hops) {
+  build_buckets(stage_list_[stage], stage);
+  std::vector<std::uint32_t>& touched = stage_touched_[stage];
+  const std::size_t num_buckets = touched.size();
+  const std::size_t contenders = arena_.size();
+
+  if (num_buckets >= 2) {
+    // Channels of one stage are independent (no path visits two), so
+    // workers own disjoint messages, cursors and alive flags. Chunks are
+    // cut by contender mass — free off the CSR offsets — so one giant
+    // bucket does not serialize the stage.
+    const std::size_t workers = std::min(pool_->size(), num_buckets);
+    const std::size_t target =
+        std::max<std::size_t>(1, contenders / (workers * 4));
+    chunk_bounds_.clear();
+    chunk_bounds_.push_back(0);
+    std::size_t mass = 0;
+    for (std::size_t j = 0; j + 1 < num_buckets; ++j) {
+      mass += bucket_off_[j + 1] - bucket_off_[j];
+      if (mass >= target) {
+        chunk_bounds_.push_back(j + 1);
+        mass = 0;
+      }
+    }
+    chunk_bounds_.push_back(num_buckets);
+    const std::size_t num_chunks = chunk_bounds_.size() - 1;
+    std::atomic<std::size_t> next{0};
+    pool_->run_tasks(std::min(workers, num_chunks), [&](std::size_t) {
+      for (;;) {
+        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= num_chunks) return;
+        for (std::size_t j = chunk_bounds_[t]; j < chunk_bounds_[t + 1]; ++j) {
+          arbitrate_bucket(cycle, touched[j], j);
+        }
+      }
+    });
+  } else {
+    for (std::size_t j = 0; j < num_buckets; ++j) {
+      arbitrate_bucket(cycle, touched[j], j);
+    }
+  }
+
+  // Serial accounting pass: per-channel occupancy and cycle totals come
+  // straight off the CSR offsets, so the parallel workers above touch no
+  // shared counters at all.
+  for (std::size_t j = 0; j < num_buckets; ++j) {
+    const std::uint32_t c = touched[j];
+    const std::uint64_t size = bucket_off_[j + 1] - bucket_off_[j];
+    const std::uint64_t winners = std::min<std::uint64_t>(size, limit_[c]);
+    if (want_carried_) carried_[c] = static_cast<std::uint32_t>(winners);
+    cycle_losses += size - winners;
+    cycle_hops += winners;
+  }
+
+  // Forward survivors to the stage of their next channel, counting them
+  // into its buckets as they land. Strictly increasing stages along every
+  // path guarantee the target worklist has not been processed yet, so
+  // each message is bucketed exactly once per cycle per hop it wins.
+  // Members are hoisted into locals for the same reason as in
+  // run_stage_serial.
+  std::uint32_t* const bp = bucket_pos_.data();
+  const auto* const stg = stage_table<ChanT>();
+  auto* const lst = stage_list_.data();
+  auto* const touch = stage_touched_.data();
+  const std::uint64_t* const ce = ce_.data();
+  const std::uint8_t* const alv = alive_.data();
+  for (const std::uint32_t i : arena_) {
+    if (!alv[i]) continue;
+    const std::uint64_t v = ce[i];  // cursor already advanced by the lottery
+    if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+      const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
+      const std::uint32_t ns = stg[nc];
+      if (bp[nc]++ == 0) touch[ns].push_back(nc);
+      lst[ns].push_back(pack_entry(i, nc));
+    }
+  }
+  for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
+  touched.clear();
+  stage_list_[stage].clear();
+}
+
+/// The serial hot path fuses bucket building, arbitration, accounting and
+/// survivor forwarding into two sweeps of the worklist. Only over-limit
+/// (contended) buckets are materialized in arena_; everyone else advances
+/// and forwards in place during the fill sweep, because an uncontended
+/// channel admits its whole bucket no matter the order. The outcome is
+/// bit-identical to run_stage_parallel: contended buckets still sort to
+/// pending order before the pinned lottery, and worklist order is
+/// unobservable (see the stage_list_ comment).
+template <typename ChanT>
+void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
+                                   std::uint32_t stage,
+                                   std::uint64_t& cycle_losses,
+                                   std::uint64_t& cycle_hops) {
+  // bucket_pos_ sentinel for channels that stay under their limit; arena
+  // fill cursors never reach it (PathSet caps hop offsets below 2^32 - 1).
+  constexpr std::uint32_t kUncontended = 0xffffffffu;
+  std::vector<std::uint64_t>& list = stage_list_[stage];
+  std::vector<std::uint32_t>& touched = stage_touched_[stage];
+  // The sweeps below hoist every member array into a local: the worklist
+  // push_backs can allocate, and past any opaque call the compiler must
+  // reload member-reachable pointers — locals stay in registers. None of
+  // the hoisted buffers reallocates during the stage (arena_ is sized
+  // before the sweep; a push to stage s' != stage moves only that inner
+  // vector's storage, not the outer arrays).
+  std::uint32_t* const bp = bucket_pos_.data();
+  const std::uint32_t* const lim = limit_.data();
+  const auto* const stg = stage_table<ChanT>();
+  auto* const lst = stage_list_.data();
+  auto* const touch = stage_touched_.data();
+  over_.clear();
+  std::uint32_t total = 0;
+  for (const std::uint32_t c : touched) {
+    const std::uint32_t count = bp[c];
+    if (count > lim[c]) {
+      over_.push_back({c, total, count});
+      bp[c] = total;  // fill cursor for the sweep below
+      total += count;
+    } else {
+      if (want_carried_) carried_[c] = count;
+      cycle_hops += count;
+      bp[c] = kUncontended;
+    }
+  }
+  arena_.resize(total);
+  std::uint64_t* const ce = ce_.data();
+  std::uint32_t* const ar = arena_.data();
+  for (const std::uint64_t e : list) {
+    const std::uint32_t c = entry_chan(e);
+    const std::uint32_t i = entry_msg(e);
+    const std::uint32_t pos = bp[c];
+    if (pos == kUncontended) {
+      const std::uint64_t v = ++ce[i];
+      if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+        const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
+        const std::uint32_t ns = stg[nc];
+        if (bp[nc]++ == 0) touch[ns].push_back(nc);
+        lst[ns].push_back(pack_entry(i, nc));
+      }
+    } else {
+      ar[pos] = i;
+      bp[c] = pos + 1;
+    }
+  }
+  std::uint64_t* const bits = sort_bits_.data();
+  for (const OverBucket& ob : over_) {
+    std::uint32_t* b = ar + ob.off;
+    const std::uint64_t limit = lim[ob.chan];
+    // Restore ascending pending order for the pinned lottery, then the
+    // truncated Fisher–Yates finalizes the loser block (see
+    // arbitrate_bucket for the full argument).
+    if (ob.count > 64) {
+      sort_by_bitmap(bits, b, ob.count);
+    } else {
+      sort_small(b, ob.count);
+    }
+    Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
+    for (std::size_t i = ob.count; i > limit; --i) {
+      const std::size_t j = arb.below(i);
+      std::swap(b[i - 1], b[j]);
+    }
+    // Losers need no kill flag: their cursor stops here, short of end, and
+    // everything downstream (compaction, tracing) reads the delivered
+    // state straight off the packed word (cursor == end). Only the
+    // parallel path keeps alive_, whose forward pass must skip the
+    // lottery's losers without re-deriving their stage.
+    for (std::size_t k = 0; k < limit; ++k) {
+      const std::uint64_t v = ++ce[b[k]];
+      if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+        const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
+        const std::uint32_t ns = stg[nc];
+        if (bp[nc]++ == 0) touch[ns].push_back(nc);
+        lst[ns].push_back(pack_entry(b[k], nc));
+      }
+    }
+    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(limit);
+    cycle_hops += limit;
+    cycle_losses += ob.count - limit;
+  }
+  for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
+  touched.clear();
+  list.clear();
+}
+
+EngineResult CycleEngine::run_lossy(const std::vector<const PathSet*>& batches,
+                                    EngineObserver* observer) {
+  if (narrow_) {
+    return run_lossy_t<std::uint16_t>(chan_buf16_, batches, observer);
+  }
+  return run_lossy_t<std::uint32_t>(chan_buf_, batches, observer);
+}
+
+template <typename ChanT>
+EngineResult CycleEngine::run_lossy_t(
+    std::vector<ChanT>& chan_buf, const std::vector<const PathSet*>& batches,
     EngineObserver* observer) {
   EngineResult result;
   const std::size_t num_channels = graph_.num_channels();
+  want_carried_ = observer != nullptr;
   carried_.assign(num_channels, 0);
-  losses_.assign(num_channels, 0);
-  buckets_.resize(num_channels);
-  pending_.clear();
+  bucket_pos_.assign(num_channels, 0);
+  stage_list_.resize(graph_.num_stages);
+  for (auto& list : stage_list_) list.clear();
+  stage_touched_.resize(graph_.num_stages);
+  for (auto& t : stage_touched_) t.clear();
+  chan_buf.clear();
+  ce_.clear();
+  begin_.clear();
+  id_.clear();
+  first_chan_.clear();
 
   // Message-event tracing is sampled once per run; when off, the only
   // cost below is one predictable branch per cycle.
   const bool trace = observer != nullptr && observer->wants_message_events();
   std::uint32_t next_id = 0;
+  const auto* const stg = stage_table<ChanT>();
 
   std::size_t next_batch = 0;
-  while (next_batch < batches.size() || !pending_.empty()) {
+  while (next_batch < batches.size() || !ce_.empty()) {
     const std::uint32_t cycle = result.cycles + 1;
     std::uint32_t delivered_now = 0;
     if (next_batch < batches.size()) {
-      for (const EnginePath& path : batches[next_batch]) {
-        graph_.check_path(path);
+      const PathSet& batch = *batches[next_batch];
+      const std::uint32_t* chans = batch.channels().data();
+      // One streaming copy of the batch's hop buffer into the engine's
+      // (possibly narrowed) buffer; message slices keep their offsets
+      // relative to base, so path layout is untouched.
+      const auto base = static_cast<std::uint32_t>(chan_buf.size());
+      const std::size_t hops = batch.channels().size();
+      chan_buf.resize(base + hops);
+      ChanT* dst = chan_buf.data() + base;
+      for (std::size_t h = 0; h < hops; ++h) {
+        dst[h] = static_cast<ChanT>(chans[h]);
+      }
+      const std::uint32_t* const ctbl = check_tbl_.data();
+      const auto nch = static_cast<std::uint32_t>(num_channels);
+      for (std::size_t p = 0; p < batch.size(); ++p) {
+        const std::uint32_t off = batch.offset(p);
+        const std::uint32_t len = batch.length(p);
+        // Equivalent to graph_.check_path, one table lookup per hop.
+        std::uint32_t prev = 0;
+        for (std::uint32_t h = off; h < off + len; ++h) {
+          const std::uint32_t c = chans[h];
+          const std::uint32_t v = c < nch ? ctbl[c] : 0;
+          FT_CHECK_MSG(v != 0, "path uses an unknown channel");
+          FT_CHECK_MSG(v > prev, "path stages must strictly increase");
+          prev = v;
+        }
         const std::uint32_t id = next_id++;
-        if (path.empty()) {
+        if (len == 0) {
           ++delivered_now;  // local delivery, no channel used
           if (trace) {
             observer->on_message_event(
@@ -153,37 +498,57 @@ EngineResult CycleEngine::run_lossy(
                 {MessageEventKind::Deliver, id, cycle, kNoChannel});
           }
         } else {
-          pending_.push_back(Pending{&path, 0, id});
+          const std::uint32_t begin = base + off;
+          const auto idx = static_cast<std::uint32_t>(ce_.size());
+          const std::uint32_t fc = chans[off];
+          const std::uint32_t fs = stg[fc];
+          ce_.push_back(
+              (static_cast<std::uint64_t>(begin + len) << 32) | begin);
+          begin_.push_back(begin);
+          id_.push_back(id);
+          first_chan_.push_back(fc);
+          if (bucket_pos_[fc]++ == 0) stage_touched_[fs].push_back(fc);
+          stage_list_[fs].push_back(pack_entry(idx, fc));
           if (trace) {
             observer->on_message_event(
-                {MessageEventKind::Inject, id, cycle, path.front()});
+                {MessageEventKind::Inject, id, cycle, fc});
           }
         }
       }
       ++next_batch;
     }
-    const std::size_t pending_before = pending_.size();
+    const std::size_t pending_before = ce_.size();
     result.total_attempts += pending_before;
+    // Bitmap-sort scratch covers every live message index; new words join
+    // zeroed and extraction keeps the rest zero.
+    if (sort_bits_.size() * 64 < pending_before) {
+      sort_bits_.resize((pending_before + 63) / 64, 0);
+    }
     if (trace) {
-      for (const Pending& p : pending_) {
+      for (std::size_t i = 0; i < pending_before; ++i) {
         observer->on_message_event(
-            {MessageEventKind::Attempt, p.id, cycle, p.path->front()});
+            {MessageEventKind::Attempt, id_[i], cycle, first_chan_[i]});
       }
     }
 
-    alive_.assign(pending_.size(), 1);
-    for (Pending& p : pending_) p.cursor = 0;
-    std::fill(carried_.begin(), carried_.end(), 0);
-
     // A message dies at the first channel whose random cap-subset lottery
-    // it loses; stages run in causal order along every path.
+    // it loses; stages run in causal order along every path. Worklists
+    // were seeded by last cycle's compaction (retries) and this cycle's
+    // injection, both in ascending message order. A stage's contender
+    // count equals its worklist length, so the serial/parallel split is
+    // decided before any bucket is built.
+    const bool pooled = pool_ != nullptr && pool_->size() > 1;
+    if (pooled) alive_.assign(pending_before, 1);
+    if (want_carried_) std::fill(carried_.begin(), carried_.end(), 0);
+    const ChanT* chan = chan_buf.data();
     std::uint64_t cycle_losses = 0;
+    std::uint64_t cycle_hops = 0;
     for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
-      run_stage(cycle, s);
-      for (const std::uint32_t c : touched_) {
-        cycle_losses += losses_[c];
-        losses_[c] = 0;
-        buckets_[c].clear();
+      if (stage_list_[s].empty()) continue;
+      if (pooled && stage_list_[s].size() >= kMinParallelWork) {
+        run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
+      } else {
+        run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
       }
     }
 
@@ -191,29 +556,59 @@ EngineResult CycleEngine::run_lossy(
     // cursor stops at the channel whose lottery it lost, which is the
     // Loss event's channel.
     if (trace) {
-      for (std::size_t i = 0; i < pending_.size(); ++i) {
-        const Pending& p = pending_[i];
-        if (alive_[i]) {
+      for (std::size_t i = 0; i < ce_.size(); ++i) {
+        const std::uint64_t v = ce_[i];
+        if (static_cast<std::uint32_t>(v) == (v >> 32)) {
           observer->on_message_event(
-              {MessageEventKind::Deliver, p.id, cycle, kNoChannel});
+              {MessageEventKind::Deliver, id_[i], cycle, kNoChannel});
         } else {
           observer->on_message_event(
-              {MessageEventKind::Loss, p.id, cycle, (*p.path)[p.cursor]});
+              {MessageEventKind::Loss, id_[i], cycle,
+               chan[static_cast<std::uint32_t>(v)]});
         }
       }
     }
+    // Compacting the losers doubles as next cycle's reseed: cursors rewind
+    // to the first hop and each retry lands on its stage worklist here, so
+    // the cycle loop never takes a separate O(pending) seeding pass.
     std::size_t kept = 0;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      if (alive_[i]) {
-        ++delivered_now;
-      } else {
-        pending_[kept++] = pending_[i];
+    {
+      const std::size_t pending = ce_.size();
+      std::uint64_t* const ce = ce_.data();
+      std::uint32_t* const bg = begin_.data();
+      std::uint32_t* const ids = id_.data();
+      std::uint32_t* const fcs = first_chan_.data();
+      std::uint32_t* const bp = bucket_pos_.data();
+      auto* const lst = stage_list_.data();
+      auto* const touch = stage_touched_.data();
+      for (std::size_t i = 0; i < pending; ++i) {
+        const std::uint64_t v = ce[i];
+        if (static_cast<std::uint32_t>(v) == (v >> 32)) {
+          ++delivered_now;
+        } else {
+          const std::uint32_t b = bg[i];
+          const std::uint32_t fc = fcs[i];
+          const std::uint32_t fs = stg[fc];
+          // Rewind the cursor to the first hop; the end half is untouched.
+          ce[kept] = (v & 0xffffffff00000000ull) | b;
+          bg[kept] = b;
+          if (trace) ids[kept] = ids[i];  // ids are only read when tracing
+          fcs[kept] = fc;
+          if (bp[fc]++ == 0) touch[fs].push_back(fc);
+          lst[fs].push_back(
+              pack_entry(static_cast<std::uint32_t>(kept), fc));
+          ++kept;
+        }
       }
     }
-    pending_.resize(kept);
+    ce_.resize(kept);
+    begin_.resize(kept);
+    id_.resize(kept);
+    first_chan_.resize(kept);
 
     ++result.cycles;
     result.total_losses += cycle_losses;
+    result.total_hops += cycle_hops;
     result.delivered += delivered_now;
     result.delivered_per_cycle.push_back(delivered_now);
 
@@ -230,26 +625,30 @@ EngineResult CycleEngine::run_lossy(
     }
 
     if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
-        (next_batch < batches.size() || !pending_.empty())) {
+        (next_batch < batches.size() || !ce_.empty())) {
       result.gave_up = true;
       break;
     }
   }
   if (result.gave_up && trace) {
-    for (const Pending& p : pending_) {
+    for (const std::uint32_t id : id_) {
       observer->on_message_event(
-          {MessageEventKind::GiveUp, p.id, result.cycles, kNoChannel});
+          {MessageEventKind::GiveUp, id, result.cycles, kNoChannel});
     }
   }
   return result;
 }
 
-EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
+EngineResult CycleEngine::run_fifo(const PathSet& paths,
                                    EngineObserver* observer) {
   EngineResult result;
   const std::size_t num_channels = graph_.num_channels();
-  std::vector<std::deque<std::uint32_t>> queues(num_channels);
-  std::vector<std::uint32_t> pos(paths.size(), 0);
+  const std::uint32_t* chans = paths.channels().data();
+  const std::uint32_t* offs = paths.offsets().data();
+  std::vector<ChunkedRing> queues(num_channels);
+  // Absolute cursor of each message within the CSR buffer; message i is
+  // delivered when its cursor reaches offs[i + 1].
+  std::vector<std::uint32_t> pos(paths.size());
   carried_.assign(num_channels, 0);
 
   const bool trace = observer != nullptr && observer->wants_message_events();
@@ -257,8 +656,8 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
   std::size_t in_flight = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const auto id = static_cast<std::uint32_t>(i);
-    result.total_hops += paths[i].size();
-    if (paths[i].empty()) {
+    pos[i] = offs[i];
+    if (offs[i] == offs[i + 1]) {
       ++result.delivered;  // local message, finishes at round 0
       if (trace) {
         observer->on_message_event(
@@ -268,11 +667,11 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
       }
       continue;
     }
-    queues[paths[i][0]].push_back(id);
+    queues[chans[offs[i]]].push(id);
     ++in_flight;
     if (trace) {
       observer->on_message_event(
-          {MessageEventKind::Inject, id, 0, paths[i][0]});
+          {MessageEventKind::Inject, id, 0, chans[offs[i]]});
     }
   }
 
@@ -313,19 +712,18 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
     const std::size_t lo = r * range_len;
     const std::size_t hi = std::min(num_channels, lo + range_len);
     for (std::size_t lid = lo; lid < hi; ++lid) {
-      auto& q = queues[lid];
-      const std::uint64_t cap = graph_.capacity[lid];
+      ChunkedRing& q = queues[lid];
+      const std::uint64_t cap = limit_[lid];
       std::uint32_t forwarded = 0;
       for (; forwarded < cap && !q.empty(); ++forwarded) {
-        const std::uint32_t msg = q.front();
-        q.pop_front();
+        const std::uint32_t msg = q.pop();
         out.moved = true;
         ++out.forwards;
         if (trace) {
           out.events.push_back({MessageEventKind::Hop, msg, round,
                                 static_cast<std::uint32_t>(lid)});
         }
-        if (++pos[msg] == paths[msg].size()) {
+        if (++pos[msg] == offs[msg + 1]) {
           out.latency_sum += round;
           ++out.finished;
           if (trace) {
@@ -333,7 +731,7 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
                                   static_cast<std::uint32_t>(lid)});
           }
         } else {
-          out.arrivals.emplace_back(paths[msg][pos[msg]], msg);
+          out.arrivals.emplace_back(chans[pos[msg]], msg);
         }
       }
       carried_[lid] = forwarded;
@@ -362,7 +760,7 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
       result.latency_sum += out.latency_sum;
       round_forwards += out.forwards;
       round_peak = std::max(round_peak, out.max_queue);
-      for (const auto& [lid, msg] : out.arrivals) queues[lid].push_back(msg);
+      for (const auto& [lid, msg] : out.arrivals) queues[lid].push(msg);
       if (trace) {
         for (const MessageEvent& e : out.events) {
           observer->on_message_event(e);
@@ -370,6 +768,7 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
       }
     }
     result.total_attempts += round_forwards;
+    result.total_hops += round_forwards;
     FT_CHECK_MSG(moved, "FIFO engine made no progress");
     result.max_queue = std::max(result.max_queue, round_peak);
     in_flight -= finished;
@@ -397,8 +796,9 @@ EngineResult CycleEngine::run_fifo(const std::vector<EnginePath>& paths,
   }
   if (result.gave_up && trace) {
     for (std::size_t lid = 0; lid < num_channels; ++lid) {
-      for (const std::uint32_t msg : queues[lid]) {
-        observer->on_message_event({MessageEventKind::GiveUp, msg,
+      ChunkedRing& q = queues[lid];
+      while (!q.empty()) {
+        observer->on_message_event({MessageEventKind::GiveUp, q.pop(),
                                     result.cycles,
                                     static_cast<std::uint32_t>(lid)});
       }

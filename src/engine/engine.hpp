@@ -62,7 +62,12 @@ struct EngineResult {
   std::uint64_t delivered = 0;
   std::uint64_t total_attempts = 0;  ///< path attempts (lossy), hops (FIFO)
   std::uint64_t total_losses = 0;    ///< attempts killed by contention
-  std::uint64_t total_hops = 0;      ///< sum of path lengths
+  /// Successful channel traversals, every mode: each channel a message
+  /// crosses (wins arbitration at, is forwarded over, or tallies on)
+  /// counts one hop. For a completed FIFO or tally run this equals the
+  /// sum of path lengths; lossy runs additionally count the partial
+  /// prefix a message crossed before losing a lottery.
+  std::uint64_t total_hops = 0;
   double latency_sum = 0.0;          ///< FIFO: sum of per-message finish rounds
   std::uint32_t max_queue = 0;       ///< FIFO: peak queue depth
   std::vector<std::uint32_t> delivered_per_cycle;
@@ -80,7 +85,10 @@ class CycleEngine {
 
   /// Runs one batch of messages to completion. Lossy/tally: all messages
   /// contend from cycle 1 and losers retry until delivered (or the engine
-  /// gives up). Fifo: synchronous store-and-forward rounds.
+  /// gives up). Fifo: synchronous store-and-forward rounds. The PathSet
+  /// overloads are the native (allocation-free) entry points; the
+  /// vector-of-paths overloads convert once and forward.
+  EngineResult run(const PathSet& paths, EngineObserver* observer = nullptr);
   EngineResult run(const std::vector<EnginePath>& paths,
                    EngineObserver* observer = nullptr);
 
@@ -89,35 +97,132 @@ class CycleEngine {
   /// batch i retry alongside batch i+1. Every batch opens a cycle, so a
   /// valid offline schedule replays in exactly schedule.num_cycles()
   /// cycles with zero losses.
+  EngineResult run_batched(const std::vector<PathSet>& batches,
+                           EngineObserver* observer = nullptr);
   EngineResult run_batched(const std::vector<std::vector<EnginePath>>& batches,
                            EngineObserver* observer = nullptr);
 
  private:
-  struct Pending {
-    const EnginePath* path;
-    std::uint32_t cursor;  ///< next channel position within the cycle
-    std::uint32_t id;      ///< injection-order message id (trace events)
+  /// One contended (over-limit) bucket in the serial fused stage: channel
+  /// plus its [off, off + count) slice of arena_.
+  struct OverBucket {
+    std::uint32_t chan;
+    std::uint32_t off;
+    std::uint32_t count;
   };
 
-  std::uint64_t channel_limit(std::size_t channel) const;
-  void arbitrate_channel(std::uint32_t cycle, std::uint32_t channel);
-  void run_stage(std::uint32_t cycle, std::uint32_t stage);
-  EngineResult run_lossy(const std::vector<std::vector<EnginePath>>& batches,
+  /// Base pointer of the stage lookup table for the given hop width
+  /// (stage16_ on the narrow path, the graph's table on the wide one).
+  /// Hot loops hoist it into a local so worklist reallocations never
+  /// force a reload.
+  template <typename ChanT>
+  const auto* stage_table() const;
+  void build_buckets(const std::vector<std::uint64_t>& list,
+                     std::uint32_t stage);
+  void arbitrate_bucket(std::uint32_t cycle, std::uint32_t channel,
+                        std::size_t bucket);
+  template <typename ChanT>
+  void run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
+                          std::uint32_t stage, std::uint64_t& cycle_losses,
+                          std::uint64_t& cycle_hops);
+  template <typename ChanT>
+  void run_stage_serial(const ChanT* chan, std::uint32_t cycle,
+                        std::uint32_t stage, std::uint64_t& cycle_losses,
+                        std::uint64_t& cycle_hops);
+  EngineResult run_lossy(const std::vector<const PathSet*>& batches,
                          EngineObserver* observer);
-  EngineResult run_fifo(const std::vector<EnginePath>& paths,
-                        EngineObserver* observer);
+  template <typename ChanT>
+  EngineResult run_lossy_t(std::vector<ChanT>& chan_buf,
+                           const std::vector<const PathSet*>& batches,
+                           EngineObserver* observer);
+  EngineResult run_fifo(const PathSet& paths, EngineObserver* observer);
 
   ChannelGraph graph_;
   EngineOptions opts_;
   std::unique_ptr<ThreadPool> pool_;  ///< live for the engine's lifetime
 
-  // Flat per-channel occupancy state, reused across stages and cycles.
-  std::vector<std::uint32_t> carried_;      ///< per-channel, current cycle
-  std::vector<std::uint32_t> losses_;       ///< per-channel, current stage
-  std::vector<std::vector<std::uint32_t>> buckets_;  ///< contenders
-  std::vector<std::uint32_t> touched_;      ///< channels contended this stage
-  std::vector<Pending> pending_;
+  /// Per-channel admission limit, fixed for the engine's lifetime:
+  /// floor(alpha * capacity) floor 1 (RandomSubset), unlimited (Tally),
+  /// capacity (Fifo), all clamped to 2^32 - 1. The clamp is lossless:
+  /// contender counts and queue lengths are bounded by the number of live
+  /// messages, which is below 2^32. Precomputed so the per-cycle loops
+  /// never touch doubles, and 32-bit so the table is half as tall.
+  std::vector<std::uint32_t> limit_;
+
+  /// Graphs with at most 2^16 channels and stages — every simulator in
+  /// the repository — run the lossy loop on 16-bit hop and stage buffers:
+  /// half the random-access footprint of the per-cycle path walk, which
+  /// is what the L2 working set is made of.
+  bool narrow_ = false;
+  std::vector<std::uint16_t> stage16_;   ///< narrow copy of graph_.stage
+
+  /// Path validation table: stage + 1 for a usable channel, 0 for an
+  /// unknown one (zero capacity). Injection validates each hop with one
+  /// 32-bit lookup instead of ChannelGraph::check_path's two (capacity,
+  /// then stage); the checks are equivalent because stage + 1 is strictly
+  /// increasing exactly when stage is.
+  std::vector<std::uint32_t> check_tbl_;
+
+  // All per-run/per-cycle scratch below is a member so repeated run()
+  // calls on one engine reach a steady state with no allocation: vectors
+  // are cleared, never shrunk.
+  std::vector<std::uint32_t> chan_buf_;   ///< injected CSR hops (wide)
+  std::vector<std::uint16_t> chan_buf16_; ///< injected CSR hops (narrow)
+  /// Live messages, injection order, struct-of-arrays. The stage sweeps
+  /// index messages randomly but only ever touch the packed
+  /// (end << 32) | cursor word — advance is one 64-bit increment, the
+  /// delivered test one compare — so splitting the cold fields out halves
+  /// the random-access footprint of a cycle. begin_ (cursor rewind) and
+  /// id_ (trace events) are read in index order once per cycle at most.
+  std::vector<std::uint64_t> ce_;     ///< (end << 32) | cursor per message
+  std::vector<std::uint32_t> begin_;  ///< first hop, index into chan_buf_
+  std::vector<std::uint32_t> id_;     ///< injection-order message id
+  /// First hop of each live message, cached at injection so the per-cycle
+  /// reseed never chases the (cold) CSR buffer. Compacted with ce_.
+  std::vector<std::uint32_t> first_chan_;
+  /// Per-message kill flags, parallel stages only: the parallel forward
+  /// pass walks its arena after the lottery and must skip losers without
+  /// re-deriving their stage. Serial stages never touch it — delivered
+  /// state is read off the packed ce_ word (cursor == end) everywhere
+  /// else.
   std::vector<std::uint8_t> alive_;
+
+  /// Worklists: list s holds the live messages whose next channel lies in
+  /// stage s, packed as (msg << 32) | channel so bucket building never
+  /// re-derives the channel through the message table and the CSR buffer.
+  /// Seeded once per cycle from each message's first hop; stage s
+  /// arbitration appends its survivors directly to later stages (paths
+  /// have strictly increasing stages), so a cycle costs O(hops) instead
+  /// of O(stages × pending). List order is unobservable: a later bucket
+  /// either sorts its contenders before the lottery or is under limit,
+  /// where order decides nothing.
+  std::vector<std::vector<std::uint64_t>> stage_list_;
+
+  // Bucket state. Contender counts accumulate at the forward/seed sites
+  // (channels partition across stages, so counts for a later stage are
+  // stable by the time it runs): bucket_pos_[c] is the count of channel
+  // c's contenders, then a fill cursor or under-limit sentinel during the
+  // stage's sweep, and is reset to zero (sticky) when the stage ends.
+  // stage_touched_[s] lists the distinct channels of stage s with a
+  // nonzero count. The parallel path additionally lays every bucket out
+  // in CSR form: bucket j (channel stage_touched_[s][j]) occupies
+  // arena_[bucket_off_[j] .. bucket_off_[j+1]).
+  std::vector<std::vector<std::uint32_t>> stage_touched_;
+  std::vector<std::uint32_t> bucket_off_;
+  std::vector<std::uint32_t> bucket_pos_;
+  std::vector<std::uint32_t> arena_;
+  std::vector<OverBucket> over_;           ///< serial: contended buckets only
+  std::vector<std::size_t> chunk_bounds_;  ///< parallel work partition
+  /// Bit-per-pending-message scratch for the serial over-loop's bitmap
+  /// sort of large contended buckets (engine.cpp sort_by_bitmap). Kept
+  /// all-zero between uses: extraction clears each word it reads.
+  std::vector<std::uint64_t> sort_bits_;
+
+  /// carried_ is only observable through an observer's CycleSnapshot;
+  /// without one the lossy stage loops skip the per-channel occupancy
+  /// writes (and the per-cycle clear) entirely.
+  bool want_carried_ = true;
+  std::vector<std::uint32_t> carried_;  ///< per-channel, current cycle
 };
 
 }  // namespace ft

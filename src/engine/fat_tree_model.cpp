@@ -48,6 +48,37 @@ EnginePath fat_tree_engine_path(const FatTreeTopology& topo, Leaf src,
   return path;
 }
 
+void append_fat_tree_path(const FatTreeTopology& topo, Leaf src, Leaf dst,
+                          PathSet& out) {
+  if (src != dst) {
+    NodeId a = topo.node_of_leaf(src);
+    NodeId b = topo.node_of_leaf(dst);
+    // Down channels are discovered leaf-upward but traversed root-downward;
+    // a tree of 2^64 leaves still only needs 64 slots of scratch.
+    std::uint32_t down[64];
+    std::uint32_t depth = 0;
+    while (a != b) {
+      out.push_channel(static_cast<std::uint32_t>(
+          channel_index(ChannelId{a, Direction::Up})));
+      down[depth++] = static_cast<std::uint32_t>(
+          channel_index(ChannelId{b, Direction::Down}));
+      a >>= 1;
+      b >>= 1;
+    }
+    while (depth > 0) out.push_channel(down[--depth]);
+  }
+  out.close_path();
+}
+
+PathSet fat_tree_path_set(const FatTreeTopology& topo, const MessageSet& m) {
+  PathSet paths;
+  paths.reserve(m.size(), m.size() * 2ull * topo.height());
+  for (const auto& msg : m) {
+    append_fat_tree_path(topo, msg.src, msg.dst, paths);
+  }
+  return paths;
+}
+
 std::vector<EnginePath> fat_tree_engine_paths(const FatTreeTopology& topo,
                                               const MessageSet& m) {
   std::vector<EnginePath> paths;

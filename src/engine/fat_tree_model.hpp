@@ -28,8 +28,17 @@ ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
 EnginePath fat_tree_engine_path(const FatTreeTopology& topo, Leaf src,
                                 Leaf dst);
 
-/// Paths for a whole message set; self messages become empty paths (local
-/// delivery, no channel bandwidth).
+/// Streams the tree path src → dst (closed, possibly empty) into a CSR
+/// PathSet with no per-message allocation.
+void append_fat_tree_path(const FatTreeTopology& topo, Leaf src, Leaf dst,
+                          PathSet& out);
+
+/// CSR paths for a whole message set: the engine's native input format.
+/// Self messages become empty paths (local delivery, no bandwidth).
+PathSet fat_tree_path_set(const FatTreeTopology& topo, const MessageSet& m);
+
+/// Paths for a whole message set as one heap vector per message; prefer
+/// fat_tree_path_set for anything hot.
 std::vector<EnginePath> fat_tree_engine_paths(const FatTreeTopology& topo,
                                               const MessageSet& m);
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "engine/channel_graph.hpp"
+#include "kary/kary_routing.hpp"
 #include "kary/kary_tree.hpp"
 
 namespace ft {
@@ -12,6 +13,11 @@ namespace ft {
 inline ChannelGraph kary_channel_graph(const KaryTree& tree) {
   return ChannelGraph::flat(
       std::vector<std::uint64_t>(tree.num_links(), 1));
+}
+
+/// Batch conversion of k-ary routes to the engine's CSR input.
+inline PathSet kary_path_set(const std::vector<KaryRoute>& routes) {
+  return PathSet::from_paths(routes);
 }
 
 }  // namespace ft

@@ -6,6 +6,7 @@
 
 #include "engine/channel_graph.hpp"
 #include "nets/network.hpp"
+#include "nets/routing.hpp"
 
 namespace ft {
 
@@ -15,6 +16,13 @@ inline ChannelGraph network_channel_graph(const Network& net) {
     caps[lid] = net.link(lid).capacity;
   }
   return ChannelGraph::flat(std::move(caps));
+}
+
+/// Batch conversion of router output to the engine's CSR input: two
+/// allocations total instead of keeping one heap vector per route alive
+/// through the simulation.
+inline PathSet network_path_set(const std::vector<Route>& routes) {
+  return PathSet::from_paths(routes);
 }
 
 }  // namespace ft

@@ -31,7 +31,7 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   eopts.threads = opts.threads;
 
   CycleEngine engine(kary_channel_graph(tree), eopts);
-  result.rounds = engine.run(routes, opts.observer).cycles;
+  result.rounds = engine.run(kary_path_set(routes), opts.observer).cycles;
   return result;
 }
 

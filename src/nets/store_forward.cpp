@@ -16,7 +16,7 @@ StoreForwardResult simulate_store_forward(const Network& net,
   eopts.threads = opts.threads;
 
   CycleEngine engine(network_channel_graph(net), eopts);
-  const EngineResult er = engine.run(routes, opts.observer);
+  const EngineResult er = engine.run(network_path_set(routes), opts.observer);
 
   StoreForwardResult result;
   result.rounds = er.cycles;

@@ -1,0 +1,252 @@
+// Golden determinism tests for the unified delivery-cycle engine: exact
+// per-seed EngineResult values (cycles, delivered, losses, attempts, hop
+// counts, and an FNV-1a hash of delivered_per_cycle) pinned for a handful
+// of (topology, policy, seed) configurations. The constants below were
+// recorded from the pre-worklist engine (commit ebad4b0), so any engine
+// refactor that claims to be bit-identical — not merely
+// distribution-preserving — must keep every one of these green.
+//
+// To re-record after an *intentional* behavior change, run this binary
+// with FT_GOLDEN_PRINT=1 and paste the printed rows over the tables.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/offline_scheduler.hpp"
+#include "core/online_router.hpp"
+#include "core/replay.hpp"
+#include "core/topology.hpp"
+#include "core/traffic.hpp"
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
+#include "kary/kary_sim.hpp"
+#include "nets/builders.hpp"
+#include "nets/routing.hpp"
+#include "nets/store_forward.hpp"
+
+namespace ft {
+namespace {
+
+bool print_mode() { return std::getenv("FT_GOLDEN_PRINT") != nullptr; }
+
+/// FNV-1a over the little-endian bytes of a uint32 vector: a stable
+/// fingerprint of the per-cycle delivery profile.
+std::uint64_t fnv1a(const std::vector<std::uint32_t>& v) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint32_t x : v) {
+    for (int b = 0; b < 4; ++b) {
+      h ^= (x >> (8 * b)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// Sums the per-channel carried counters over all cycles: the number of
+/// successful channel traversals, which EngineResult::total_hops reports.
+class CarriedSummer final : public EngineObserver {
+ public:
+  void on_cycle(const CycleSnapshot& s) override {
+    if (s.carried != nullptr) {
+      for (const std::uint32_t c : *s.carried) sum_ += c;
+    }
+  }
+  std::uint64_t sum() const { return sum_; }
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Lossy (RandomSubset) arbitration, driven directly through the engine.
+
+struct LossyGolden {
+  std::uint64_t seed;
+  double alpha;
+  std::uint32_t cycles;
+  std::uint64_t delivered;
+  std::uint64_t attempts;
+  std::uint64_t losses;
+  std::uint64_t hops;  ///< successful channel traversals (sum of carried)
+  std::uint64_t dpc_hash;
+};
+
+constexpr LossyGolden kLossyGolden[] = {
+    {1, 1.0, 12, 512, 2830, 2319, 9185, 9416255908271736541ULL},
+    {2, 1.0, 13, 512, 2851, 2340, 9034, 17532918026386496563ULL},
+    {3, 1.0, 12, 512, 2714, 2203, 8943, 14713001954155442791ULL},
+    {7, 0.75, 22, 512, 4512, 4001, 10013, 1030322477785156329ULL},
+};
+
+TEST(EngineGolden, LossyRandomSubset) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(9);
+  const auto m = stacked_permutations(n, 4, gen);
+  const auto paths = fat_tree_engine_paths(t, m);
+  const auto graph = fat_tree_channel_graph(t, caps);
+
+  for (const LossyGolden& g : kLossyGolden) {
+    EngineOptions opts;
+    opts.contention = ContentionPolicy::RandomSubset;
+    opts.alpha = g.alpha;
+    opts.seed = g.seed;
+    CycleEngine engine(graph, opts);
+    CarriedSummer hops;
+    const EngineResult r = engine.run(paths, &hops);
+    if (print_mode()) {
+      std::cout << "GOLDEN lossy {" << g.seed << ", " << g.alpha << ", "
+                << r.cycles << ", " << r.delivered << ", "
+                << r.total_attempts << ", " << r.total_losses << ", "
+                << hops.sum() << ", " << fnv1a(r.delivered_per_cycle)
+                << "ULL},\n";
+      continue;
+    }
+    EXPECT_EQ(r.cycles, g.cycles) << "seed=" << g.seed;
+    EXPECT_EQ(r.delivered, g.delivered) << "seed=" << g.seed;
+    EXPECT_EQ(r.total_attempts, g.attempts) << "seed=" << g.seed;
+    EXPECT_EQ(r.total_losses, g.losses) << "seed=" << g.seed;
+    EXPECT_EQ(hops.sum(), g.hops) << "seed=" << g.seed;
+    EXPECT_EQ(r.total_hops, g.hops) << "seed=" << g.seed;
+    EXPECT_EQ(fnv1a(r.delivered_per_cycle), g.dpc_hash) << "seed=" << g.seed;
+    EXPECT_FALSE(r.gave_up);
+  }
+}
+
+// A run that exhausts max_cycles must be deterministic too: the partial
+// delivery profile and the gave_up flag are part of the pinned contract.
+TEST(EngineGolden, LossyGiveUp) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng gen(13);
+  const auto m = stacked_permutations(n, 6, gen);
+  const auto paths = fat_tree_engine_paths(t, m);
+
+  EngineOptions opts;
+  opts.contention = ContentionPolicy::RandomSubset;
+  opts.seed = 5;
+  opts.max_cycles = 4;
+  CycleEngine engine(fat_tree_channel_graph(t, caps), opts);
+  const EngineResult r = engine.run(paths);
+  if (print_mode()) {
+    std::cout << "GOLDEN giveup delivered=" << r.delivered
+              << " losses=" << r.total_losses
+              << " hash=" << fnv1a(r.delivered_per_cycle) << "ULL\n";
+    return;
+  }
+  EXPECT_TRUE(r.gave_up);
+  EXPECT_EQ(r.cycles, 4u);
+  EXPECT_EQ(r.delivered, 40u);
+  EXPECT_EQ(r.total_losses, 1415u);
+  EXPECT_EQ(fnv1a(r.delivered_per_cycle), 6680217803996358699ULL);
+}
+
+// ---------------------------------------------------------------------------
+// The online-routing frontend end to end (adapter + self-message handling).
+
+TEST(EngineGolden, OnlineRouting) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(7);
+  auto m = stacked_permutations(n, 3, gen);
+  m.push_back({5, 5});  // a local message rides along
+
+  Rng rng(101);
+  const auto r = route_online(t, caps, m, rng);
+  if (print_mode()) {
+    std::cout << "GOLDEN online cycles=" << r.delivery_cycles
+              << " attempts=" << r.total_attempts
+              << " losses=" << r.total_losses
+              << " hash=" << fnv1a(r.delivered_per_cycle) << "ULL\n";
+    return;
+  }
+  EXPECT_FALSE(r.gave_up);
+  EXPECT_EQ(r.delivery_cycles, 9u);
+  EXPECT_EQ(r.total_attempts, 797u);
+  EXPECT_EQ(r.total_losses, 608u);
+  EXPECT_EQ(fnv1a(r.delivered_per_cycle), 11967730147615725460ULL);
+  const auto delivered =
+      std::accumulate(r.delivered_per_cycle.begin(),
+                      r.delivered_per_cycle.end(), std::uint64_t{0});
+  EXPECT_EQ(delivered, m.size());
+}
+
+// ---------------------------------------------------------------------------
+// Tally-mode offline replay: a valid schedule replays exactly.
+
+TEST(EngineGolden, TallyReplay) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(41);
+  const auto m = stacked_permutations(n, 3, gen);
+  const auto schedule = schedule_offline(t, caps, m);
+  ASSERT_TRUE(verify_schedule(t, caps, m, schedule));
+
+  const auto r = replay_schedule(t, caps, schedule);
+  std::vector<std::uint32_t> dpc(r.delivered_per_cycle.begin(),
+                                 r.delivered_per_cycle.end());
+  if (print_mode()) {
+    std::cout << "GOLDEN replay cycles=" << r.cycles
+              << " hash=" << fnv1a(dpc) << "ULL\n";
+    return;
+  }
+  EXPECT_EQ(r.cycles, schedule.num_cycles());
+  EXPECT_EQ(r.cycles, 18u);
+  EXPECT_EQ(r.delivered, m.size());
+  EXPECT_EQ(r.capacity_violations, 0u);
+  EXPECT_EQ(fnv1a(dpc), 15442268163853219301ULL);
+}
+
+// ---------------------------------------------------------------------------
+// FIFO store-and-forward rounds on a competitor network and a k-ary tree.
+
+TEST(EngineGolden, FifoStoreForward) {
+  const auto net = build_hypercube(6);
+  Rng traffic(22);
+  const auto m = random_permutation_traffic(64, traffic);
+  const auto routes = route_all_bfs(net, m);
+  std::uint64_t route_hops = 0;
+  for (const auto& r : routes) route_hops += r.size();
+
+  const auto r = simulate_store_forward(net, routes);
+  if (print_mode()) {
+    std::cout << "GOLDEN fifo rounds=" << r.rounds << " hops=" << r.total_hops
+              << " max_queue=" << r.max_queue << "\n";
+    return;
+  }
+  EXPECT_EQ(r.rounds, 8u);
+  EXPECT_EQ(r.total_hops, route_hops);
+  EXPECT_EQ(r.total_hops, 194u);
+  EXPECT_EQ(r.max_queue, 2u);
+}
+
+TEST(EngineGolden, FifoKary) {
+  KaryTree tree(4, 3);  // 64 processors
+  Rng perm_rng(31);
+  std::vector<std::uint32_t> perm(tree.num_processors());
+  std::iota(perm.begin(), perm.end(), 0u);
+  perm_rng.shuffle(perm);
+
+  Rng rng(33);
+  const auto r = simulate_kary_permutation(tree, perm, AscentPolicy::Random, rng);
+  if (print_mode()) {
+    std::cout << "GOLDEN kary rounds=" << r.rounds
+              << " max_load=" << r.max_link_load
+              << " max_hops=" << r.max_route_hops << "\n";
+    return;
+  }
+  EXPECT_EQ(r.rounds, 9u);
+  EXPECT_EQ(r.max_link_load, 4u);
+  EXPECT_EQ(r.max_route_hops, 6u);
+}
+
+}  // namespace
+}  // namespace ft
