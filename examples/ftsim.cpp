@@ -25,6 +25,7 @@
 #include "core/replay.hpp"
 #include "core/reuse_scheduler.hpp"
 #include "core/traffic.hpp"
+#include "engine/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
@@ -44,7 +45,15 @@ void usage() {
       "  --scheduler X  offline | packed | greedy | reuse | online\n"
       "                 (default offline)\n"
       "  --stack K      stack K copies of the workload (default 1)\n"
-      "  --faults P     wire failure probability (default 0)\n"
+      "  --faults P     wire failure probability (default 0, static)\n"
+      "  --flap PD:PU   transient channel flaps: per-cycle P(down):P(up)\n"
+      "  --brownout F:U:C  capacity brownout over cycles [F, U) (U=0 =\n"
+      "                 forever), limits scaled by factor C\n"
+      "  --burst AT:DUR:K  kill K random channels at cycle AT for DUR\n"
+      "                 cycles\n"
+      "  --retry K      give a message up after K contested cycles\n"
+      "  --backoff      exponential retry backoff (skip-k-cycles)\n"
+      "  --deadline C   give up messages whose retry would pass cycle C\n"
       "  --seed S       RNG seed (default 1)\n"
       "  --csv          emit CSV instead of an aligned table\n"
       "  --trace F      write Chrome trace JSON (chrome://tracing, Perfetto)\n"
@@ -59,6 +68,18 @@ struct Options {
   std::string scheduler = "offline";
   std::uint32_t stack = 1;
   double faults = 0.0;
+  // Transient faults (engine/fault_plan.hpp); zero/empty = off.
+  double flap_down = 0.0;
+  double flap_up = 0.0;
+  bool has_brownout = false;
+  std::uint32_t brown_from = 1;
+  std::uint32_t brown_until = 0;
+  double brown_factor = 0.5;
+  bool has_burst = false;
+  std::uint32_t burst_at = 1;
+  std::uint32_t burst_dur = 1;
+  std::uint32_t burst_count = 1;
+  ft::RetryPolicy retry;
   std::uint64_t seed = 1;
   bool csv = false;
   std::string trace_path;
@@ -96,6 +117,37 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.faults = std::strtod(v, nullptr);
+    } else if (arg == "--flap") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%lf:%lf", &opt.flap_down, &opt.flap_up) != 2) {
+        return false;
+      }
+    } else if (arg == "--brownout") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%u:%u:%lf", &opt.brown_from, &opt.brown_until,
+                            &opt.brown_factor) != 3) {
+        return false;
+      }
+      opt.has_brownout = true;
+    } else if (arg == "--burst") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%u:%u:%u", &opt.burst_at, &opt.burst_dur,
+                            &opt.burst_count) != 3) {
+        return false;
+      }
+      opt.has_burst = true;
+    } else if (arg == "--retry") {
+      const char* v = next();
+      if (!v) return false;
+      opt.retry.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--backoff") {
+      opt.retry.exponential_backoff = true;
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (!v) return false;
+      opt.retry.deadline_cycles =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -126,15 +178,22 @@ struct RunResult {
   std::size_t cycles = 0;
   bool verified = false;
   bool gave_up = false;
+  std::uint64_t messages_given_up = 0;
+  std::uint64_t total_backoffs = 0;
+  std::uint64_t fault_down_events = 0;
+  std::uint64_t fault_up_events = 0;
+  std::uint64_t degraded_channel_cycles = 0;
 };
 
 /// Runs one workload under the selected scheduler. When `observer` is
 /// non-null the delivery cycles are observed on the engine: online runs
 /// live, offline schedules via a Tally replay of the compiled schedule.
+/// `plan` (nullable) injects transient faults into whichever engine run
+/// executes the delivery cycles.
 RunResult run_one(const ft::FatTreeTopology& topo,
                   const ft::CapacityProfile& caps, const ft::MessageSet& m,
-                  const Options& opt, ft::EngineObserver* observer,
-                  ft::PhaseTimers& timers) {
+                  const Options& opt, const ft::FaultPlan* plan,
+                  ft::EngineObserver* observer, ft::PhaseTimers& timers) {
   RunResult r;
   {
     auto t = timers.scope("load_factor");
@@ -159,12 +218,20 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     ft::Rng rng(opt.seed ^ 0x0511e5);
     ft::OnlineRouterOptions opts;
     opts.observer = observer;
+    opts.fault_plan = plan;
+    opts.retry = opt.retry;
     auto t = timers.scope("route");
     const auto res = ft::route_online(topo, caps, m, rng, opts);
     r.cycles = res.delivery_cycles;
     r.gave_up = res.gave_up;
-    // Complete unless the router hit its cycle cap and gave up.
-    r.verified = !res.gave_up;
+    r.messages_given_up = res.messages_given_up;
+    r.total_backoffs = res.total_backoffs;
+    r.fault_down_events = res.fault_down_events;
+    r.fault_up_events = res.fault_up_events;
+    r.degraded_channel_cycles = res.degraded_channel_cycles;
+    // Complete unless the router hit its cycle cap and gave up, or per-
+    // message retry policies ran out.
+    r.verified = !res.gave_up && res.messages_given_up == 0;
   } else {
     std::fprintf(stderr, "unknown scheduler '%s'\n", opt.scheduler.c_str());
     std::exit(2);
@@ -175,9 +242,23 @@ RunResult run_one(const ft::FatTreeTopology& topo,
       auto t = timers.scope("verify");
       r.verified = ft::verify_schedule(topo, caps, m, schedule);
     }
-    if (observer != nullptr) {
+    if (observer != nullptr || plan != nullptr) {
       auto t = timers.scope("replay");
-      ft::replay_schedule(topo, caps, schedule, {}, observer);
+      ft::ReplayOptions ropts;
+      ropts.fault_plan = plan;
+      ropts.retry = opt.retry;
+      const auto res = ft::replay_schedule(topo, caps, schedule, ropts,
+                                           observer);
+      if (plan != nullptr) {
+        // Under churn the schedule's cycle count is the healthy baseline;
+        // report what the faulted replay actually took.
+        r.cycles = res.cycles;
+        r.messages_given_up = res.messages_given_up;
+        r.fault_down_events = res.fault_down_events;
+        r.fault_up_events = res.fault_up_events;
+        r.verified = r.verified && res.messages_given_up == 0 &&
+                     res.delivered == schedule.total_messages();
+      }
     }
   }
   return r;
@@ -230,6 +311,19 @@ int main(int argc, char** argv) {
     caps = ft::inject_wire_faults(topo, caps, opt.faults, frng);
   }
 
+  // Transient faults ride the delivery-cycle engine itself (the static
+  // --faults damage above degrades capacities before the run).
+  ft::FaultPlan plan(opt.seed ^ 0xd1fa);
+  if (opt.flap_down > 0.0) plan.set_flaps({opt.flap_down, opt.flap_up});
+  if (opt.has_brownout) {
+    plan.add_brownout({opt.brown_from, opt.brown_until, opt.brown_factor,
+                       ft::kAllLevels});
+  }
+  if (opt.has_burst) {
+    plan.add_burst({opt.burst_at, opt.burst_dur, opt.burst_count});
+  }
+  const ft::FaultPlan* active_plan = plan.empty() ? nullptr : &plan;
+
   const bool want_trace = !opt.trace_path.empty() || !opt.jsonl_path.empty();
   const bool want_report = !opt.report_path.empty();
 
@@ -243,6 +337,29 @@ int main(int argc, char** argv) {
     params["stack"] = opt.stack;
     params["faults"] = opt.faults;
     params["seed"] = opt.seed;
+    if (active_plan != nullptr) {
+      ft::JsonValue& f = params["fault_plan"];
+      if (opt.flap_down > 0.0) {
+        f["flap_down"] = opt.flap_down;
+        f["flap_up"] = opt.flap_up;
+      }
+      if (opt.has_brownout) {
+        f["brownout_from"] = opt.brown_from;
+        f["brownout_until"] = opt.brown_until;
+        f["brownout_factor"] = opt.brown_factor;
+      }
+      if (opt.has_burst) {
+        f["burst_at"] = opt.burst_at;
+        f["burst_duration"] = opt.burst_dur;
+        f["burst_count"] = opt.burst_count;
+      }
+    }
+    if (opt.retry.enabled()) {
+      ft::JsonValue& rp = params["retry"];
+      rp["max_attempts"] = opt.retry.max_attempts;
+      rp["exponential_backoff"] = opt.retry.exponential_backoff;
+      rp["deadline_cycles"] = opt.retry.deadline_cycles;
+    }
   }
 
   ft::Rng rng(opt.seed);
@@ -270,7 +387,7 @@ int main(int argc, char** argv) {
         (want_report || want_trace) ? &fanout : nullptr;
 
     ft::PhaseTimers timers;
-    const auto r = run_one(topo, caps, m, opt, observer, timers);
+    const auto r = run_one(topo, caps, m, opt, active_plan, observer, timers);
     table.row()
         .add(wl.name)
         .add(m.size())
@@ -295,6 +412,15 @@ int main(int argc, char** argv) {
       run["cycles"] = static_cast<std::uint64_t>(r.cycles);
       run["verified"] = r.verified;
       run["gave_up"] = r.gave_up;
+      if (active_plan != nullptr || opt.retry.enabled()) {
+        ft::JsonValue& f = run["faults"];
+        f["fault_down_events"] = r.fault_down_events;
+        f["fault_up_events"] = r.fault_up_events;
+        f["degraded_channel_cycles"] = r.degraded_channel_cycles;
+        f["backoffs"] = r.total_backoffs;
+        f["messages_given_up"] = r.messages_given_up;
+        f["availability"] = metrics.availability();
+      }
       run["engine"] = metrics.to_json();
       run["phases"] = timers.to_json();
     }

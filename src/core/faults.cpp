@@ -48,11 +48,15 @@ CapacityProfile fail_random_channels(const FatTreeTopology& topo,
   CapacityProfile out = caps;
   for (std::uint32_t i = 0; i < count; ++i) {
     const NodeId v = nodes[i];
-    if (caps.capacity(topo, v) > 1) {
+    // Count only genuine transitions to the floor: a channel already at
+    // one wire (in the input, or floored by an earlier pick when profiles
+    // are chained) is not degraded again, and the no-op override is
+    // skipped. Mirrors inject_wire_faults' `degraded == 1 && cap > 1`.
+    if (out.capacity(topo, v) > 1) {
       ++r.channels_degraded;
       ++r.channels_at_floor;
+      out = out.with_channel_capacity(topo, v, 1);
     }
-    out = out.with_channel_capacity(topo, v, 1);
   }
   for (NodeId v = 1; v <= topo.num_nodes(); ++v) {
     r.wires_after += out.capacity(topo, v);

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "core/capacity.hpp"
 #include "core/topology.hpp"
@@ -24,13 +25,19 @@ struct FaultReport {
   std::uint64_t wires_before = 0;
   std::uint64_t wires_after = 0;
   std::uint32_t channels_degraded = 0;
-  std::uint32_t channels_at_floor = 0;  ///< reduced to the 1-wire floor
+  std::uint32_t channels_at_floor = 0;  ///< newly reduced to the 1-wire floor
 
+  /// No wires existed to fail (empty topology / all-zero profile) — the
+  /// survival rate is then undefined, not 100%.
+  bool is_empty() const { return wires_before == 0; }
+
+  /// wires_after / wires_before; NaN when is_empty() so degenerate inputs
+  /// cannot read as "fully healthy" (the obs JSON writer emits NaN as
+  /// null, keeping reports honest).
   double survival_rate() const {
-    return wires_before
-               ? static_cast<double>(wires_after) /
-                     static_cast<double>(wires_before)
-               : 1.0;
+    return is_empty() ? std::numeric_limits<double>::quiet_NaN()
+                      : static_cast<double>(wires_after) /
+                            static_cast<double>(wires_before);
   }
 };
 

@@ -40,6 +40,8 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   eopts.seed = rng.next();
   eopts.parallel = opts.parallel;
   eopts.threads = opts.threads;
+  eopts.retry = opts.retry;
+  eopts.fault_plan = opts.fault_plan;
 
   CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
   const EngineResult er = engine.run(paths, opts.observer);
@@ -49,6 +51,11 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   result.total_attempts = er.total_attempts;
   result.total_losses = er.total_losses;
   result.gave_up = er.gave_up;
+  result.messages_given_up = er.messages_given_up;
+  result.total_backoffs = er.total_backoffs;
+  result.fault_down_events = er.fault_down_events;
+  result.fault_up_events = er.fault_up_events;
+  result.degraded_channel_cycles = er.degraded_channel_cycles;
   result.delivered_per_cycle = er.delivered_per_cycle;
 
   if (self_delivered > 0) {

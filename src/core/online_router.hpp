@@ -25,6 +25,7 @@
 #include "core/capacity.hpp"
 #include "core/message.hpp"
 #include "core/topology.hpp"
+#include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "util/prng.hpp"
 
@@ -39,6 +40,13 @@ struct OnlineRoutingResult {
   /// that need completion must check this (never reported silently:
   /// delivered_per_cycle sums to less than |M|).
   bool gave_up = false;
+  // Retry / dynamic-fault lifecycle (zero without a RetryPolicy or
+  // FaultPlan in the options).
+  std::uint64_t messages_given_up = 0;  ///< retries exhausted per policy
+  std::uint64_t total_backoffs = 0;     ///< backoff parkings
+  std::uint64_t fault_down_events = 0;  ///< channel down transitions
+  std::uint64_t fault_up_events = 0;    ///< channel repair transitions
+  std::uint64_t degraded_channel_cycles = 0;  ///< Σ degraded chans/cycle
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
@@ -60,6 +68,12 @@ struct OnlineRouterOptions {
   /// Optional instrumentation hook (per-cycle counters, channel
   /// utilization; see engine/observer.hpp). Not owned.
   EngineObserver* observer = nullptr;
+  /// Per-message retry policy (bounded attempts / exponential backoff /
+  /// deadline). Defaults to the classic retry-every-cycle behavior.
+  RetryPolicy retry;
+  /// Optional transient-fault plan consulted every delivery cycle (not
+  /// owned; must outlive the call). nullptr = fault-free run.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// Routes m on-line; every message is delivered by termination unless the

@@ -55,6 +55,14 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
   eopts.contention = ContentionPolicy::Tally;
   eopts.parallel = opts.parallel;
   eopts.threads = opts.threads;
+  eopts.fault_plan = opts.fault_plan;
+  eopts.retry = opts.retry;
+  if (opts.fault_plan != nullptr && !opts.fault_plan->empty()) {
+    // A faulted replay can run past the schedule horizon while messages
+    // wait out down channels; the plan seed keys the fault streams.
+    eopts.seed = opts.fault_plan->seed();
+    eopts.max_cycles = 64 * (schedule.num_cycles() + 64);
+  }
 
   CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
   ViolationCounter counter(observer);
@@ -64,6 +72,9 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
   result.cycles = er.cycles;
   result.delivered = er.delivered;
   result.capacity_violations = counter.violations();
+  result.messages_given_up = er.messages_given_up;
+  result.fault_down_events = er.fault_down_events;
+  result.fault_up_events = er.fault_up_events;
   result.delivered_per_cycle = er.delivered_per_cycle;
   return result;
 }

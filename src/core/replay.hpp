@@ -13,6 +13,7 @@
 #include "core/capacity.hpp"
 #include "core/offline_scheduler.hpp"
 #include "core/topology.hpp"
+#include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 
 namespace ft {
@@ -21,14 +22,27 @@ struct ReplayOptions {
   /// Resolve channels on a thread pool; identical results to serial mode.
   bool parallel = false;
   std::size_t threads = 0;
+  /// Optional transient-fault plan (not owned). A down channel rejects
+  /// its scheduled messages, which then retry in later cycles — the
+  /// replay measures how a precomputed schedule degrades under churn
+  /// (cycles may exceed schedule.num_cycles()). Brownouts do not bind
+  /// here: tally replay has no admission cap to scale.
+  const FaultPlan* fault_plan = nullptr;
+  /// Per-message retry policy for faulted replays (default: retry every
+  /// cycle forever, the classic behavior).
+  RetryPolicy retry;
 };
 
 struct ReplayResult {
-  std::uint32_t cycles = 0;     ///< == schedule.num_cycles()
+  std::uint32_t cycles = 0;     ///< == schedule.num_cycles() if fault-free
   std::uint64_t delivered = 0;  ///< == schedule.total_messages()
   /// Channel-cycles where the scheduled load exceeded capacity. Zero iff
   /// every scheduled cycle is a one-cycle message set.
   std::uint64_t capacity_violations = 0;
+  // Fault / retry lifecycle (zero on fault-free replays).
+  std::uint64_t messages_given_up = 0;
+  std::uint64_t fault_down_events = 0;
+  std::uint64_t fault_up_events = 0;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 

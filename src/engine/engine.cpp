@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <memory>
 
 #include "engine/chunked_ring.hpp"
 #include "util/check.hpp"
@@ -126,6 +127,7 @@ CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
   for (std::size_t c = 0; c < num_channels; ++c) {
     check_tbl_[c] = graph_.capacity[c] > 0 ? graph_.stage[c] + 1 : 0;
   }
+  active_limit_ = limit_.data();
   narrow_ = num_channels <= 65536 && graph_.num_stages <= 65536;
   if (narrow_) {
     stage16_.resize(num_channels);
@@ -210,7 +212,7 @@ void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
                                    std::size_t bucket) {
   std::uint32_t* b = arena_.data() + bucket_off_[bucket];
   const std::size_t size = bucket_off_[bucket + 1] - bucket_off_[bucket];
-  const std::uint64_t limit = limit_[c];
+  const std::uint64_t limit = active_limit_[c];
   if (size > limit) {
     // The pinned arbitration lottery saw contenders in ascending pending
     // index (the old engine scanned messages in order); worklist
@@ -288,7 +290,8 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
   for (std::size_t j = 0; j < num_buckets; ++j) {
     const std::uint32_t c = touched[j];
     const std::uint64_t size = bucket_off_[j + 1] - bucket_off_[j];
-    const std::uint64_t winners = std::min<std::uint64_t>(size, limit_[c]);
+    const std::uint64_t winners =
+        std::min<std::uint64_t>(size, active_limit_[c]);
     if (want_carried_) carried_[c] = static_cast<std::uint32_t>(winners);
     cycle_losses += size - winners;
     cycle_hops += winners;
@@ -346,7 +349,7 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
   // before the sweep; a push to stage s' != stage moves only that inner
   // vector's storage, not the outer arrays).
   std::uint32_t* const bp = bucket_pos_.data();
-  const std::uint32_t* const lim = limit_.data();
+  const std::uint32_t* const lim = active_limit_;
   const auto* const stg = stage_table<ChanT>();
   auto* const lst = stage_list_.data();
   auto* const touch = stage_touched_.data();
@@ -450,6 +453,8 @@ EngineResult CycleEngine::run_lossy_t(
   begin_.clear();
   id_.clear();
   first_chan_.clear();
+  attempts_.clear();
+  wake_.clear();
 
   // Message-event tracing is sampled once per run; when off, the only
   // cost below is one predictable branch per cycle.
@@ -457,10 +462,43 @@ EngineResult CycleEngine::run_lossy_t(
   std::uint32_t next_id = 0;
   const auto* const stg = stage_table<ChanT>();
 
+  // Retry policy and fault plan are sampled once per run; with both off
+  // every loop below is the classic hot path (active_limit_ == limit_).
+  const RetryPolicy& retry = opts_.retry;
+  const bool retry_on = retry.enabled();
+  std::unique_ptr<FaultState> faults;
+  if (opts_.fault_plan != nullptr && !opts_.fault_plan->empty()) {
+    faults = std::make_unique<FaultState>(*opts_.fault_plan, graph_);
+  }
+  active_limit_ = limit_.data();
+  // Messages seeded to contend in the current cycle; equals pending when
+  // no retry policy parks anyone.
+  std::uint64_t contenders = 0;
+
   std::size_t next_batch = 0;
   while (next_batch < batches.size() || !ce_.empty()) {
     const std::uint32_t cycle = result.cycles + 1;
     std::uint32_t delivered_now = 0;
+    std::uint32_t backoffs_now = 0;
+    std::uint32_t gave_up_now = 0;
+    const FaultState::CycleFaults* cf = nullptr;
+    if (faults) {
+      cf = &faults->begin_cycle(cycle, limit_);
+      active_limit_ = faults->eff_limit().data();
+      result.fault_down_events += cf->went_down.size();
+      result.fault_up_events += cf->came_up.size();
+      result.degraded_channel_cycles += cf->degraded_channels;
+      if (trace) {
+        for (const std::uint32_t c : cf->went_down) {
+          observer->on_message_event(
+              {MessageEventKind::FaultDown, kNoMessage, cycle, c});
+        }
+        for (const std::uint32_t c : cf->came_up) {
+          observer->on_message_event(
+              {MessageEventKind::FaultUp, kNoMessage, cycle, c});
+        }
+      }
+    }
     if (next_batch < batches.size()) {
       const PathSet& batch = *batches[next_batch];
       const std::uint32_t* chans = batch.channels().data();
@@ -507,6 +545,11 @@ EngineResult CycleEngine::run_lossy_t(
           begin_.push_back(begin);
           id_.push_back(id);
           first_chan_.push_back(fc);
+          if (retry_on) {
+            attempts_.push_back(1);
+            wake_.push_back(cycle);
+          }
+          ++contenders;
           if (bucket_pos_[fc]++ == 0) stage_touched_[fs].push_back(fc);
           stage_list_[fs].push_back(pack_entry(idx, fc));
           if (trace) {
@@ -518,7 +561,12 @@ EngineResult CycleEngine::run_lossy_t(
       ++next_batch;
     }
     const std::size_t pending_before = ce_.size();
-    result.total_attempts += pending_before;
+    // Messages parked in backoff are alive but do not contend; without a
+    // retry policy every pending message was seeded, so contenders ==
+    // pending_before and the accounting is byte-identical to the classic
+    // engine.
+    const std::uint64_t cycle_attempts = contenders;
+    result.total_attempts += cycle_attempts;
     // Bitmap-sort scratch covers every live message index; new words join
     // zeroed and extraction keeps the rest zero.
     if (sort_bits_.size() * 64 < pending_before) {
@@ -526,6 +574,7 @@ EngineResult CycleEngine::run_lossy_t(
     }
     if (trace) {
       for (std::size_t i = 0; i < pending_before; ++i) {
+        if (retry_on && wake_[i] != cycle) continue;  // parked in backoff
         observer->on_message_event(
             {MessageEventKind::Attempt, id_[i], cycle, first_chan_[i]});
       }
@@ -557,6 +606,7 @@ EngineResult CycleEngine::run_lossy_t(
     // Loss event's channel.
     if (trace) {
       for (std::size_t i = 0; i < ce_.size(); ++i) {
+        if (retry_on && wake_[i] != cycle) continue;  // parked: no outcome
         const std::uint64_t v = ce_[i];
         if (static_cast<std::uint32_t>(v) == (v >> 32)) {
           observer->on_message_event(
@@ -570,7 +620,10 @@ EngineResult CycleEngine::run_lossy_t(
     }
     // Compacting the losers doubles as next cycle's reseed: cursors rewind
     // to the first hop and each retry lands on its stage worklist here, so
-    // the cycle loop never takes a separate O(pending) seeding pass.
+    // the cycle loop never takes a separate O(pending) seeding pass. The
+    // retry-aware variant additionally decides each loser's fate — give
+    // up (attempts/deadline exhausted), park (exponential backoff), or
+    // reseed — and wakes parked messages whose delay has elapsed.
     std::size_t kept = 0;
     {
       const std::size_t pending = ce_.size();
@@ -581,22 +634,95 @@ EngineResult CycleEngine::run_lossy_t(
       std::uint32_t* const bp = bucket_pos_.data();
       auto* const lst = stage_list_.data();
       auto* const touch = stage_touched_.data();
-      for (std::size_t i = 0; i < pending; ++i) {
-        const std::uint64_t v = ce[i];
-        if (static_cast<std::uint32_t>(v) == (v >> 32)) {
-          ++delivered_now;
-        } else {
+      if (!retry_on) {
+        for (std::size_t i = 0; i < pending; ++i) {
+          const std::uint64_t v = ce[i];
+          if (static_cast<std::uint32_t>(v) == (v >> 32)) {
+            ++delivered_now;
+          } else {
+            const std::uint32_t b = bg[i];
+            const std::uint32_t fc = fcs[i];
+            const std::uint32_t fs = stg[fc];
+            // Rewind the cursor to the first hop; the end half is
+            // untouched.
+            ce[kept] = (v & 0xffffffff00000000ull) | b;
+            bg[kept] = b;
+            if (trace) ids[kept] = ids[i];  // ids are only read when tracing
+            fcs[kept] = fc;
+            if (bp[fc]++ == 0) touch[fs].push_back(fc);
+            lst[fs].push_back(
+                pack_entry(static_cast<std::uint32_t>(kept), fc));
+            ++kept;
+          }
+        }
+        contenders = kept;
+      } else {
+        std::uint32_t* const att = attempts_.data();
+        std::uint32_t* const wk = wake_.data();
+        contenders = 0;
+        for (std::size_t i = 0; i < pending; ++i) {
+          const std::uint64_t v = ce[i];
+          if (static_cast<std::uint32_t>(v) == (v >> 32)) {
+            ++delivered_now;
+            continue;
+          }
+          std::uint32_t next_wake;
+          if (wk[i] == cycle) {
+            // Contended and lost this cycle: attempts_[i] losses so far.
+            std::uint32_t delay = 0;
+            bool drop = false;
+            if (retry.max_attempts != 0 && att[i] >= retry.max_attempts) {
+              drop = true;
+            } else {
+              if (retry.exponential_backoff) {
+                const std::uint32_t shift = std::min(att[i] - 1, 31u);
+                delay = std::min<std::uint32_t>(retry.max_backoff,
+                                                (1u << shift) - 1);
+              }
+              if (retry.deadline_cycles != 0 &&
+                  static_cast<std::uint64_t>(cycle) + 1 + delay >
+                      retry.deadline_cycles) {
+                drop = true;
+              }
+            }
+            if (drop) {
+              ++gave_up_now;
+              if (trace) {
+                observer->on_message_event(
+                    {MessageEventKind::GiveUp, ids[i], cycle, kNoChannel});
+              }
+              continue;
+            }
+            if (delay > 0) {
+              ++backoffs_now;
+              if (trace) {
+                observer->on_message_event(
+                    {MessageEventKind::Backoff, ids[i], cycle,
+                     chan[static_cast<std::uint32_t>(v)]});
+              }
+            }
+            next_wake = cycle + 1 + delay;
+          } else {
+            next_wake = wk[i];  // parked; cursor already at the first hop
+          }
           const std::uint32_t b = bg[i];
           const std::uint32_t fc = fcs[i];
-          const std::uint32_t fs = stg[fc];
-          // Rewind the cursor to the first hop; the end half is untouched.
           ce[kept] = (v & 0xffffffff00000000ull) | b;
           bg[kept] = b;
-          if (trace) ids[kept] = ids[i];  // ids are only read when tracing
+          if (trace) ids[kept] = ids[i];
           fcs[kept] = fc;
-          if (bp[fc]++ == 0) touch[fs].push_back(fc);
-          lst[fs].push_back(
-              pack_entry(static_cast<std::uint32_t>(kept), fc));
+          if (next_wake == cycle + 1) {
+            att[kept] = att[i] + 1;
+            wk[kept] = next_wake;
+            const std::uint32_t fs = stg[fc];
+            if (bp[fc]++ == 0) touch[fs].push_back(fc);
+            lst[fs].push_back(
+                pack_entry(static_cast<std::uint32_t>(kept), fc));
+            ++contenders;
+          } else {
+            att[kept] = att[i];
+            wk[kept] = next_wake;
+          }
           ++kept;
         }
       }
@@ -605,20 +731,34 @@ EngineResult CycleEngine::run_lossy_t(
     begin_.resize(kept);
     id_.resize(kept);
     first_chan_.resize(kept);
+    if (retry_on) {
+      attempts_.resize(kept);
+      wake_.resize(kept);
+    }
 
     ++result.cycles;
     result.total_losses += cycle_losses;
     result.total_hops += cycle_hops;
     result.delivered += delivered_now;
     result.delivered_per_cycle.push_back(delivered_now);
+    result.total_backoffs += backoffs_now;
+    result.messages_given_up += gave_up_now;
 
     if (observer != nullptr) {
       CycleSnapshot snap;
       snap.cycle = cycle;
       snap.pending_before = pending_before;
       snap.delivered = delivered_now;
-      snap.attempts = pending_before;
+      snap.attempts = cycle_attempts;
       snap.losses = cycle_losses;
+      if (cf != nullptr) {
+        snap.faults_down = static_cast<std::uint32_t>(cf->went_down.size());
+        snap.faults_up = static_cast<std::uint32_t>(cf->came_up.size());
+        snap.channels_down = cf->channels_down;
+        snap.degraded_channels = cf->degraded_channels;
+      }
+      snap.backoffs = backoffs_now;
+      snap.gave_up = gave_up_now;
       snap.carried = &carried_;
       snap.graph = &graph_;
       observer->on_cycle(snap);
@@ -652,6 +792,15 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
   carried_.assign(num_channels, 0);
 
   const bool trace = observer != nullptr && observer->wants_message_events();
+
+  // Dynamic faults evolve on the coordination path, once per round, just
+  // as in the lossy engine; a down channel forwards nothing this round
+  // (its queue simply waits), a browned-out one forwards fewer.
+  std::unique_ptr<FaultState> faults;
+  if (opts_.fault_plan != nullptr && !opts_.fault_plan->empty()) {
+    faults = std::make_unique<FaultState>(*opts_.fault_plan, graph_);
+  }
+  active_limit_ = limit_.data();
 
   std::size_t in_flight = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -713,7 +862,7 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
     const std::size_t hi = std::min(num_channels, lo + range_len);
     for (std::size_t lid = lo; lid < hi; ++lid) {
       ChunkedRing& q = queues[lid];
-      const std::uint64_t cap = limit_[lid];
+      const std::uint64_t cap = active_limit_[lid];
       std::uint32_t forwarded = 0;
       for (; forwarded < cap && !q.empty(); ++forwarded) {
         const std::uint32_t msg = q.pop();
@@ -742,6 +891,24 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
 
   while (in_flight > 0) {
     const std::uint32_t round = result.cycles + 1;
+    const FaultState::CycleFaults* cf = nullptr;
+    if (faults) {
+      cf = &faults->begin_cycle(round, limit_);
+      active_limit_ = faults->eff_limit().data();
+      result.fault_down_events += cf->went_down.size();
+      result.fault_up_events += cf->came_up.size();
+      result.degraded_channel_cycles += cf->degraded_channels;
+      if (trace) {
+        for (const std::uint32_t c : cf->went_down) {
+          observer->on_message_event(
+              {MessageEventKind::FaultDown, kNoMessage, round, c});
+        }
+        for (const std::uint32_t c : cf->came_up) {
+          observer->on_message_event(
+              {MessageEventKind::FaultUp, kNoMessage, round, c});
+        }
+      }
+    }
     if (num_ranges > 1) {
       pool_->run_tasks(num_ranges,
                        [&](std::size_t r) { process_range(r, round); });
@@ -769,7 +936,10 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
     }
     result.total_attempts += round_forwards;
     result.total_hops += round_forwards;
-    FT_CHECK_MSG(moved, "FIFO engine made no progress");
+    // A round may legitimately stall while faults hold channels down; the
+    // no-progress invariant only applies at full health.
+    FT_CHECK_MSG(moved || (cf != nullptr && cf->channels_down > 0),
+                 "FIFO engine made no progress");
     result.max_queue = std::max(result.max_queue, round_peak);
     in_flight -= finished;
     result.delivered += finished;
@@ -783,6 +953,12 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
       snap.delivered = finished;
       snap.attempts = round_forwards;
       snap.peak_queue = round_peak;
+      if (cf != nullptr) {
+        snap.faults_down = static_cast<std::uint32_t>(cf->went_down.size());
+        snap.faults_up = static_cast<std::uint32_t>(cf->came_up.size());
+        snap.channels_down = cf->channels_down;
+        snap.degraded_channels = cf->degraded_channels;
+      }
       snap.carried = &carried_;
       snap.graph = &graph_;
       observer->on_cycle(snap);

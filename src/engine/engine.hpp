@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "engine/channel_graph.hpp"
+#include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -54,6 +55,13 @@ struct EngineOptions {
   bool parallel = false;
   /// Worker threads for parallel mode (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Per-message retry policy (lossy/tally modes; FIFO rounds have no
+  /// losses to retry, so it is ignored there). Off by default.
+  RetryPolicy retry;
+  /// Transient mid-run faults, consulted once per delivery cycle from the
+  /// coordinating thread (see engine/fault_plan.hpp). Not owned; must
+  /// outlive every run. nullptr or an empty plan costs nothing.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct EngineResult {
@@ -70,6 +78,16 @@ struct EngineResult {
   std::uint64_t total_hops = 0;
   double latency_sum = 0.0;          ///< FIFO: sum of per-message finish rounds
   std::uint32_t max_queue = 0;       ///< FIFO: peak queue depth
+  /// Messages that exhausted their RetryPolicy (max_attempts or deadline)
+  /// and were dropped; disjoint from `delivered`.
+  std::uint64_t messages_given_up = 0;
+  std::uint64_t total_backoffs = 0;  ///< retry-backoff parkings
+  // Dynamic-fault accounting (zero without an active FaultPlan).
+  std::uint64_t fault_down_events = 0;
+  std::uint64_t fault_up_events = 0;
+  /// Channel-cycles spent below full admission limit (down or browned
+  /// out): the time-degraded numerator of availability.
+  std::uint64_t degraded_channel_cycles = 0;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
@@ -148,6 +166,19 @@ class CycleEngine {
   /// messages, which is below 2^32. Precomputed so the per-cycle loops
   /// never touch doubles, and 32-bit so the table is half as tall.
   std::vector<std::uint32_t> limit_;
+
+  /// Admission limits in force for the current cycle: limit_.data()
+  /// without a fault plan, the FaultState's effective limits (0 = channel
+  /// down) with one. Every arbitration site reads limits through this
+  /// pointer, so the fault-free hot path is unchanged.
+  const std::uint32_t* active_limit_ = nullptr;
+
+  /// Per-message retry state, maintained only when opts_.retry.enabled():
+  /// attempts_[i] counts the cycles message i has contended in, wake_[i]
+  /// is the cycle it next contends (== current cycle while active, a
+  /// future cycle while parked in backoff). Compacted with ce_.
+  std::vector<std::uint32_t> attempts_;
+  std::vector<std::uint32_t> wake_;
 
   /// Graphs with at most 2^16 channels and stages — every simulator in
   /// the repository — run the lossy loop on 16-bit hop and stage buffers:

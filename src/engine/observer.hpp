@@ -33,6 +33,14 @@ struct CycleSnapshot {
   std::uint64_t attempts = 0;       ///< path attempts (lossy) / hops (FIFO)
   std::uint64_t losses = 0;         ///< attempts killed by contention
   std::uint32_t peak_queue = 0;     ///< deepest FIFO queue this round
+  // Dynamic-fault and retry lifecycle (all zero without an active
+  // FaultPlan / RetryPolicy, see engine/fault_plan.hpp).
+  std::uint32_t faults_down = 0;    ///< channels that failed at cycle start
+  std::uint32_t faults_up = 0;      ///< channels that recovered
+  std::uint32_t channels_down = 0;  ///< channels down during this cycle
+  std::uint64_t degraded_channels = 0;  ///< channels below full capacity
+  std::uint32_t backoffs = 0;       ///< messages that entered retry backoff
+  std::uint32_t gave_up = 0;        ///< messages that exhausted their retries
   const std::vector<std::uint32_t>* carried = nullptr;  ///< per-channel
   const ChannelGraph* graph = nullptr;
 };
@@ -42,18 +50,29 @@ struct CycleSnapshot {
 inline constexpr std::uint32_t kNoChannel =
     std::numeric_limits<std::uint32_t>::max();
 
+/// Sentinel message id for channel-level events (FaultDown/FaultUp) that
+/// are not tied to one message.
+inline constexpr std::uint32_t kNoMessage =
+    std::numeric_limits<std::uint32_t>::max();
+
 /// Per-message lifecycle event taxonomy. Lossy (RandomSubset/Tally) runs
-/// emit Inject, Attempt, Loss, Deliver, GiveUp; FIFO runs emit Inject,
-/// Hop, Deliver, GiveUp. A run that gives up reports GiveUp only for
-/// messages that were already injected (batches never injected leave no
-/// events).
+/// emit Inject, Attempt, Loss, Deliver, Backoff, GiveUp; FIFO runs emit
+/// Inject, Hop, Deliver, GiveUp. A run that gives up reports GiveUp only
+/// for messages that were already injected (batches never injected leave
+/// no events). Runs under a FaultPlan additionally emit FaultDown/FaultUp
+/// channel-state events (message = kNoMessage) at the start of the cycle
+/// the transition takes effect in.
 enum class MessageEventKind : std::uint8_t {
   Inject,   ///< message entered the engine (channel = first path channel)
   Attempt,  ///< lossy: message contends for its full path this cycle
   Hop,      ///< FIFO: message was forwarded across `channel` this round
   Loss,     ///< lossy: message lost the arbitration lottery at `channel`
   Deliver,  ///< message reached its destination this cycle/round
-  GiveUp,   ///< engine hit max_cycles with the message still undelivered
+  Backoff,  ///< lossy: message parks for its retry-backoff delay
+  GiveUp,   ///< message undelivered at max_cycles, or its retry policy
+            ///< (max_attempts / deadline) ran out
+  FaultDown,  ///< `channel` failed at this cycle's start (msg = kNoMessage)
+  FaultUp,    ///< `channel` recovered (msg = kNoMessage)
 };
 
 struct MessageEvent {

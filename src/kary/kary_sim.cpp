@@ -29,9 +29,13 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   eopts.contention = ContentionPolicy::Fifo;
   eopts.parallel = opts.parallel;
   eopts.threads = opts.threads;
+  eopts.fault_plan = opts.fault_plan;
 
   CycleEngine engine(kary_channel_graph(tree), eopts);
-  result.rounds = engine.run(kary_path_set(routes), opts.observer).cycles;
+  const EngineResult er = engine.run(kary_path_set(routes), opts.observer);
+  result.rounds = er.cycles;
+  result.fault_down_events = er.fault_down_events;
+  result.fault_up_events = er.fault_up_events;
   return result;
 }
 

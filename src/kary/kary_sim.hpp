@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "kary/kary_routing.hpp"
 
@@ -20,6 +21,8 @@ struct KarySimResult {
   std::uint64_t max_link_load = 0;
   double mean_link_load = 0.0;
   std::uint32_t max_route_hops = 0;
+  std::uint64_t fault_down_events = 0;  ///< link down transitions
+  std::uint64_t fault_up_events = 0;    ///< link repair transitions
 };
 
 struct KarySimOptions {
@@ -28,6 +31,9 @@ struct KarySimOptions {
   std::size_t threads = 0;
   /// Optional per-round instrumentation (engine/observer.hpp). Not owned.
   EngineObserver* observer = nullptr;
+  /// Optional transient-fault plan (not owned): a down link forwards
+  /// nothing that round, its queue waits.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 /// Routes the permutation under `policy` and simulates delivery.

@@ -14,6 +14,8 @@ StoreForwardResult simulate_store_forward(const Network& net,
   eopts.contention = ContentionPolicy::Fifo;
   eopts.parallel = opts.parallel;
   eopts.threads = opts.threads;
+  eopts.fault_plan = opts.fault_plan;
+  eopts.max_cycles = opts.max_rounds;
 
   CycleEngine engine(network_channel_graph(net), eopts);
   const EngineResult er = engine.run(network_path_set(routes), opts.observer);
@@ -22,6 +24,9 @@ StoreForwardResult simulate_store_forward(const Network& net,
   result.rounds = er.cycles;
   result.total_hops = er.total_hops;
   result.max_queue = er.max_queue;
+  result.gave_up = er.gave_up;
+  result.fault_down_events = er.fault_down_events;
+  result.fault_up_events = er.fault_up_events;
   result.mean_latency = routes.empty()
                             ? 0.0
                             : er.latency_sum /

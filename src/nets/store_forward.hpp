@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "nets/network.hpp"
 #include "nets/routing.hpp"
@@ -22,6 +23,9 @@ struct StoreForwardResult {
   std::uint64_t total_hops = 0;     ///< sum of route lengths
   double mean_latency = 0.0;        ///< average per-message finish round
   std::uint32_t max_queue = 0;      ///< peak per-link queue length
+  bool gave_up = false;             ///< hit max_rounds with traffic queued
+  std::uint64_t fault_down_events = 0;  ///< link down transitions
+  std::uint64_t fault_up_events = 0;    ///< link repair transitions
 };
 
 struct StoreForwardOptions {
@@ -30,6 +34,12 @@ struct StoreForwardOptions {
   std::size_t threads = 0;
   /// Optional per-round instrumentation (engine/observer.hpp). Not owned.
   EngineObserver* observer = nullptr;
+  /// Optional transient-fault plan (not owned): a down link forwards
+  /// nothing that round, its queue waits. Supply max_rounds with plans
+  /// that can pin a link down indefinitely.
+  const FaultPlan* fault_plan = nullptr;
+  /// Abort after this many rounds (0 = run to completion).
+  std::uint32_t max_rounds = 0;
 };
 
 /// Simulates messages with precomputed routes. Messages with empty routes

@@ -98,7 +98,13 @@ EngineMetrics::EngineMetrics()
     : attempts_(&registry_.counter("engine.attempts")),
       losses_(&registry_.counter("engine.losses")),
       delivered_(&registry_.counter("engine.delivered")),
+      fault_down_(&registry_.counter("engine.fault_down_events")),
+      fault_up_(&registry_.counter("engine.fault_up_events")),
+      backoffs_(&registry_.counter("engine.backoffs")),
+      gave_up_(&registry_.counter("engine.messages_given_up")),
+      degraded_(&registry_.counter("engine.degraded_channel_cycles")),
       peak_queue_(&registry_.gauge("engine.peak_queue_depth")),
+      peak_down_(&registry_.gauge("engine.peak_channels_down")),
       util_hist_(&registry_.histogram("engine.channel_utilization", 0.0, 1.0,
                                       kHistogramBins)) {}
 
@@ -109,7 +115,13 @@ void EngineMetrics::on_cycle(const CycleSnapshot& s) {
   attempts_->add(s.attempts);
   losses_->add(s.losses);
   delivered_->add(s.delivered);
+  fault_down_->add(s.faults_down);
+  fault_up_->add(s.faults_up);
+  backoffs_->add(s.backoffs);
+  gave_up_->add(s.gave_up);
+  degraded_->add(s.degraded_channels);
   if (s.peak_queue > peak_queue_->value()) peak_queue_->set(s.peak_queue);
+  if (s.channels_down > peak_down_->value()) peak_down_->set(s.channels_down);
   if (s.graph == nullptr || s.carried == nullptr) return;
 
   const ChannelGraph& g = *s.graph;
@@ -126,6 +138,10 @@ void EngineMetrics::on_cycle(const CycleSnapshot& s) {
     graph_levels_ = g.num_levels;
     carried_by_level_.assign(g.num_levels, 0);
     capacity_by_level_.assign(g.num_levels, 0);
+    usable_channels_ = 0;
+    for (std::size_t c = 0; c < g.num_channels(); ++c) {
+      if (g.capacity[c] > 0) ++usable_channels_;
+    }
   }
 
   for (std::size_t c = 0; c < g.num_channels(); ++c) {
@@ -145,9 +161,18 @@ void EngineMetrics::reset() {
   delivered_per_cycle.clear();
   carried_by_level_.clear();
   capacity_by_level_.clear();
+  usable_channels_ = 0;
   graph_channels_ = 0;
   graph_levels_ = 0;
   graph_seen_ = false;
+}
+
+double EngineMetrics::availability() const {
+  const std::uint64_t denom =
+      usable_channels_ * static_cast<std::uint64_t>(cycles());
+  if (denom == 0) return 1.0;
+  return 1.0 - static_cast<double>(degraded_->value()) /
+                   static_cast<double>(denom);
 }
 
 double EngineMetrics::level_utilization(std::uint32_t level) const {
@@ -162,6 +187,7 @@ JsonValue EngineMetrics::to_json() const {
   JsonValue out = registry_.to_json();
   out["cycles"] = cycles();
   out["loss_rate"] = loss_rate();
+  out["availability"] = availability();
   JsonValue& levels = out["level_utilization"];
   levels = JsonValue::array();
   for (std::uint32_t k = 0; k < num_levels(); ++k) {

@@ -105,6 +105,22 @@ class EngineMetrics final : public EngineObserver {
     return static_cast<std::uint32_t>(peak_queue_->value());
   }
 
+  // Fault / retry lifecycle (all zero on fault-free runs).
+  std::uint64_t fault_down_events() const { return fault_down_->value(); }
+  std::uint64_t fault_up_events() const { return fault_up_->value(); }
+  std::uint64_t total_backoffs() const { return backoffs_->value(); }
+  std::uint64_t messages_given_up() const { return gave_up_->value(); }
+  std::uint64_t degraded_channel_cycles() const {
+    return degraded_->value();
+  }
+  std::uint32_t peak_channels_down() const {
+    return static_cast<std::uint32_t>(peak_down_->value());
+  }
+  /// Fraction of usable channel-cycles at full capacity: 1 −
+  /// degraded_channel_cycles / (usable channels × cycles). 1.0 for
+  /// fault-free or empty runs.
+  double availability() const;
+
   /// Mean carried/capacity over channel-cycles at one level tag.
   double level_utilization(std::uint32_t level) const;
   std::uint32_t num_levels() const {
@@ -132,8 +148,17 @@ class EngineMetrics final : public EngineObserver {
   Counter* attempts_;
   Counter* losses_;
   Counter* delivered_;
+  Counter* fault_down_;
+  Counter* fault_up_;
+  Counter* backoffs_;
+  Counter* gave_up_;
+  Counter* degraded_;
   Gauge* peak_queue_;
+  Gauge* peak_down_;
   Histogram* util_hist_;
+  /// Channels with nonzero capacity in the observed graph — the
+  /// availability denominator per cycle.
+  std::uint64_t usable_channels_ = 0;
   // Per-level tallies over all cycles, index = ChannelGraph::level.
   std::vector<std::uint64_t> carried_by_level_;
   std::vector<std::uint64_t> capacity_by_level_;

@@ -11,11 +11,14 @@ namespace {
 /// the cycle's [start, start + kTicksPerCycle) slice in lifecycle order.
 std::uint64_t kind_offset(MessageEventKind k) {
   switch (k) {
+    case MessageEventKind::FaultDown: return 40;
+    case MessageEventKind::FaultUp: return 50;
     case MessageEventKind::Inject: return 100;
     case MessageEventKind::Attempt: return 200;
     case MessageEventKind::Hop: return 500;
     case MessageEventKind::Loss: return 700;
     case MessageEventKind::Deliver: return 800;
+    case MessageEventKind::Backoff: return 850;
     case MessageEventKind::GiveUp: return 900;
   }
   return 0;
@@ -29,7 +32,8 @@ std::uint64_t cycle_start_ticks(std::uint32_t cycle) {
 
 JsonValue event_args(const MessageEvent& e) {
   JsonValue args = JsonValue::object();
-  args["message"] = e.message;
+  // Channel-state events (FaultDown/FaultUp) carry no message id.
+  if (e.message != kNoMessage) args["message"] = e.message;
   args["cycle"] = e.cycle;
   if (e.channel != kNoChannel) args["channel"] = e.channel;
   return args;
@@ -44,7 +48,10 @@ const char* TraceSink::kind_name(MessageEventKind k) {
     case MessageEventKind::Hop: return "hop";
     case MessageEventKind::Loss: return "loss";
     case MessageEventKind::Deliver: return "deliver";
+    case MessageEventKind::Backoff: return "backoff";
     case MessageEventKind::GiveUp: return "give_up";
+    case MessageEventKind::FaultDown: return "fault_down";
+    case MessageEventKind::FaultUp: return "fault_up";
   }
   return "unknown";
 }
@@ -57,6 +64,12 @@ void TraceSink::on_cycle(const CycleSnapshot& s) {
   rec.attempts = s.attempts;
   rec.losses = s.losses;
   rec.peak_queue = s.peak_queue;
+  rec.faults_down = s.faults_down;
+  rec.faults_up = s.faults_up;
+  rec.channels_down = s.channels_down;
+  rec.degraded_channels = s.degraded_channels;
+  rec.backoffs = s.backoffs;
+  rec.gave_up = s.gave_up;
   rec.events_end = events_.size();
   if (s.graph != nullptr && s.carried != nullptr) {
     rec.carried_by_level.assign(s.graph->num_levels, 0);
@@ -89,7 +102,7 @@ void TraceSink::write_jsonl(std::ostream& os) const {
       const MessageEvent& e = events_[next_event];
       JsonValue line = JsonValue::object();
       line["type"] = kind_name(e.kind);
-      line["msg"] = e.message;
+      if (e.message != kNoMessage) line["msg"] = e.message;
       line["cycle"] = e.cycle;
       if (e.channel != kNoChannel) line["channel"] = e.channel;
       line.write(os, 0);
@@ -106,6 +119,14 @@ void TraceSink::write_jsonl(std::ostream& os) const {
     line["attempts"] = rec.attempts;
     line["losses"] = rec.losses;
     if (rec.peak_queue != 0) line["peak_queue"] = rec.peak_queue;
+    if (rec.faults_down != 0) line["faults_down"] = rec.faults_down;
+    if (rec.faults_up != 0) line["faults_up"] = rec.faults_up;
+    if (rec.channels_down != 0) line["channels_down"] = rec.channels_down;
+    if (rec.degraded_channels != 0) {
+      line["degraded_channels"] = rec.degraded_channels;
+    }
+    if (rec.backoffs != 0) line["backoffs"] = rec.backoffs;
+    if (rec.gave_up != 0) line["gave_up"] = rec.gave_up;
     if (!rec.carried_by_level.empty()) {
       JsonValue& lv = line["carried_by_level"];
       lv = JsonValue::array();
@@ -154,6 +175,9 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
     args["attempts"] = rec.attempts;
     args["losses"] = rec.losses;
     if (rec.peak_queue != 0) args["peak_queue"] = rec.peak_queue;
+    if (rec.channels_down != 0) args["channels_down"] = rec.channels_down;
+    if (rec.backoffs != 0) args["backoffs"] = rec.backoffs;
+    if (rec.gave_up != 0) args["gave_up"] = rec.gave_up;
     ev.push_back(std::move(slice));
 
     JsonValue pending = base("pending", "C", start);

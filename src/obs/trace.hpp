@@ -24,6 +24,14 @@ struct TraceCycleRecord {
   std::uint64_t attempts = 0;
   std::uint64_t losses = 0;
   std::uint32_t peak_queue = 0;
+  // Fault / retry lifecycle (zero on fault-free runs; omitted from the
+  // JSONL cycle record when zero so fault-free output is unchanged).
+  std::uint32_t faults_down = 0;
+  std::uint32_t faults_up = 0;
+  std::uint32_t channels_down = 0;
+  std::uint64_t degraded_channels = 0;
+  std::uint32_t backoffs = 0;
+  std::uint32_t gave_up = 0;
   std::vector<std::uint64_t> carried_by_level;
   /// Message events recorded so far when this cycle closed — events with
   /// index < events_end belong to this cycle or an earlier one.

@@ -243,6 +243,58 @@ TEST(EngineParity, LossyTraceSerialEqualsParallel) {
   EXPECT_EQ(streams[0], streams[1]);
 }
 
+// The fault subsystem must preserve the engine's core guarantee: with an
+// active FaultPlan (flaps + a burst) and a retry policy, serial and
+// parallel runs still agree on cycle counts, per-cycle deliveries, every
+// fault/retry counter, and the full traced event stream. FaultState
+// advances only on the coordinating thread and every flap draw comes from
+// a private (seed, cycle, channel) stream, so thread count is invisible.
+TEST(EngineParity, TransientFaultsSerialEqualsParallel) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 32);
+  Rng gen(91);
+  const auto m = stacked_permutations(n, 4, gen);
+
+  FaultPlan plan(92);
+  plan.set_flaps({0.03, 0.3});
+  plan.add_burst({/*at_cycle=*/2, /*duration=*/2, /*count=*/8});
+
+  std::vector<OnlineRoutingResult> results;
+  std::vector<std::vector<MessageEvent>> streams;
+  for (const bool parallel : {false, true}) {
+    TraceSink trace;
+    Rng rng(93);
+    OnlineRouterOptions opts;
+    opts.parallel = parallel;
+    opts.fault_plan = &plan;
+    opts.retry.exponential_backoff = true;
+    opts.observer = &trace;
+    results.push_back(route_online(t, caps, m, rng, opts));
+    streams.push_back(trace.message_events());
+  }
+  const auto& s = results[0];
+  const auto& p = results[1];
+  EXPECT_EQ(s.delivery_cycles, p.delivery_cycles);
+  EXPECT_EQ(s.delivered_per_cycle, p.delivered_per_cycle);
+  EXPECT_EQ(s.total_attempts, p.total_attempts);
+  EXPECT_EQ(s.total_losses, p.total_losses);
+  EXPECT_EQ(s.total_backoffs, p.total_backoffs);
+  EXPECT_EQ(s.messages_given_up, p.messages_given_up);
+  EXPECT_EQ(s.fault_down_events, p.fault_down_events);
+  EXPECT_EQ(s.fault_up_events, p.fault_up_events);
+  EXPECT_EQ(s.degraded_channel_cycles, p.degraded_channel_cycles);
+  EXPECT_EQ(streams[0], streams[1]);
+  // The scenario is not degenerate: faults struck and everything was
+  // still delivered.
+  EXPECT_GT(s.fault_down_events, 0u);
+  EXPECT_FALSE(s.gave_up);
+  const auto delivered =
+      std::accumulate(s.delivered_per_cycle.begin(),
+                      s.delivered_per_cycle.end(), std::uint64_t{0});
+  EXPECT_EQ(delivered, m.size());
+}
+
 TEST(EngineParity, FifoTraceSerialEqualsParallel) {
   const auto net = build_hypercube(6);
   Rng traffic(81);

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
+
 #include "core/load.hpp"
 #include "core/offline_scheduler.hpp"
 #include "core/online_router.hpp"
 #include "core/traffic.hpp"
+#include "obs/json.hpp"
 
 namespace ft {
 namespace {
@@ -138,6 +142,128 @@ TEST(Faults, FailRandomChannelsCountsDamage) {
     if (degraded.capacity(t, v) == 1 && caps.capacity(t, v) > 1) ++at_one;
   }
   EXPECT_EQ(at_one, report.channels_at_floor);
+}
+
+TEST(Faults, ZeroProbabilityReportIsAllZero) {
+  // p = 0 must consume the RNG identically to any other p (one draw per
+  // wire) yet report no damage at all.
+  FatTreeTopology t(64);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(43);
+  FaultReport report;
+  inject_wire_faults(t, caps, 0.0, rng, &report);
+  EXPECT_EQ(report.channels_degraded, 0u);
+  EXPECT_EQ(report.channels_at_floor, 0u);
+  EXPECT_FALSE(report.is_empty());
+  EXPECT_DOUBLE_EQ(report.survival_rate(), 1.0);
+}
+
+TEST(Faults, FullFailureReportHitsEveryWideChannel) {
+  FatTreeTopology t(32);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng rng(44);
+  FaultReport report;
+  const auto degraded = inject_wire_faults(t, caps, 1.0, rng, &report);
+  std::uint32_t wide = 0;  // channels with more than the floor to lose
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    if (caps.capacity(t, v) > 1) ++wide;
+  }
+  EXPECT_EQ(report.channels_degraded, wide);
+  EXPECT_EQ(report.channels_at_floor, wide);
+  EXPECT_EQ(report.wires_after, t.num_nodes());
+  EXPECT_DOUBLE_EQ(report.survival_rate(),
+                   static_cast<double>(t.num_nodes()) /
+                       static_cast<double>(report.wires_before));
+  // wires_after == num channels exactly: everything sits on the floor.
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(degraded.capacity(t, v), 1u);
+  }
+}
+
+TEST(Faults, SurvivalRateOfEmptyReportIsNaNAndJsonNull) {
+  // A default report has no wires; "100% survived" would be a lie. The
+  // obs JSON writer turns the NaN into null, so reports stay honest.
+  FaultReport report;
+  EXPECT_TRUE(report.is_empty());
+  EXPECT_TRUE(std::isnan(report.survival_rate()));
+
+  JsonValue v = JsonValue::object();
+  v["survival_rate"] = report.survival_rate();
+  std::ostringstream os;
+  v.write(os, 0);
+  EXPECT_EQ(os.str(), "{\"survival_rate\":null}");
+}
+
+TEST(Faults, FailRandomChannelsCountsOnlyTransitions) {
+  FatTreeTopology t(64);
+  // Every channel already sits at the 1-wire floor: nothing can degrade.
+  const auto floored = CapacityProfile::constant(t, 1);
+  Rng rng(45);
+  FaultReport report;
+  const auto out = fail_random_channels(t, floored, 20, rng, &report);
+  EXPECT_EQ(report.channels_degraded, 0u);
+  EXPECT_EQ(report.channels_at_floor, 0u);
+  EXPECT_EQ(report.wires_before, report.wires_after);
+  EXPECT_FALSE(out.has_overrides());  // no-op overrides are skipped
+}
+
+TEST(Faults, FailRandomChannelsIsIdempotentOnDamage) {
+  // Failing channels of an already-fully-floored profile reports zero
+  // damage, however the picks land.
+  FatTreeTopology t(32);
+  const auto caps = CapacityProfile::universal(t, 8);
+  Rng r1(46);
+  const auto once = fail_random_channels(t, caps, t.num_nodes(), r1);
+  Rng r2(47);
+  FaultReport again;
+  fail_random_channels(t, once, t.num_nodes(), r2, &again);
+  EXPECT_EQ(again.channels_degraded, 0u);
+  EXPECT_EQ(again.channels_at_floor, 0u);
+  EXPECT_EQ(again.wires_before, again.wires_after);
+}
+
+// Golden determinism: both static injectors are pure functions of their
+// seed. The exact values below pin the (seed, draw-order) contract — a
+// refactor that reorders RNG draws shows up here, not in a flaky
+// experiment far downstream.
+TEST(Faults, GoldenWireFaultsForFixedSeed) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::universal(t, 8);
+  Rng rng(1234);
+  FaultReport report;
+  const auto degraded = inject_wire_faults(t, caps, 0.3, rng, &report);
+
+  EXPECT_EQ(report.wires_before, 68u);
+  EXPECT_EQ(report.wires_after, 52u);
+  EXPECT_EQ(report.channels_degraded, 10u);
+  EXPECT_EQ(report.channels_at_floor, 5u);
+  const std::uint64_t expect_caps[31] = {5, 4, 6, 2, 3, 1, 3, 1, 2, 2, 2,
+                                         1, 1, 1, 2, 1, 1, 1, 1, 1, 1, 1,
+                                         1, 1, 1, 1, 1, 1, 1, 1, 1};
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(degraded.capacity(t, v), expect_caps[v - 1]) << v;
+  }
+}
+
+TEST(Faults, GoldenChannelFailuresForFixedSeed) {
+  FatTreeTopology t(16);
+  const auto caps = CapacityProfile::universal(t, 8);
+  Rng rng(5678);
+  FaultReport report;
+  const auto degraded = fail_random_channels(t, caps, 4, rng, &report);
+
+  // count = 4 picks, but two landed on channels already at the floor:
+  // only the two genuine transitions are reported.
+  EXPECT_EQ(report.wires_before, 68u);
+  EXPECT_EQ(report.wires_after, 62u);
+  EXPECT_EQ(report.channels_degraded, 2u);
+  EXPECT_EQ(report.channels_at_floor, 2u);
+  const std::uint64_t expect_caps[31] = {8, 6, 1, 4, 4, 4, 4, 2, 2, 2, 2,
+                                         1, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1,
+                                         1, 1, 1, 1, 1, 1, 1, 1, 1};
+  for (NodeId v = 1; v <= t.num_nodes(); ++v) {
+    EXPECT_EQ(degraded.capacity(t, v), expect_caps[v - 1]) << v;
+  }
 }
 
 TEST(Faults, LoadFactorRisesWithDamage) {
