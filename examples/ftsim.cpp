@@ -25,6 +25,7 @@
 #include "core/replay.hpp"
 #include "core/reuse_scheduler.hpp"
 #include "core/traffic.hpp"
+#include "engine/fat_tree_model.hpp"
 #include "engine/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -51,6 +52,10 @@ void usage() {
       "                 forever), limits scaled by factor C\n"
       "  --burst AT:DUR:K  kill K random channels at cycle AT for DUR\n"
       "                 cycles\n"
+      "  --subtree-kill V:AT:DUR  kill every channel in the subtree rooted\n"
+      "                 at heap node V at cycle AT for DUR cycles\n"
+      "  --subtree-storm P:LVL  strike each level-LVL subtree with\n"
+      "                 per-cycle probability P (outage 1..8 cycles)\n"
       "  --retry K      give a message up after K contested cycles\n"
       "  --backoff      exponential retry backoff (skip-k-cycles)\n"
       "  --deadline C   give up messages whose retry would pass cycle C\n"
@@ -79,6 +84,12 @@ struct Options {
   std::uint32_t burst_at = 1;
   std::uint32_t burst_dur = 1;
   std::uint32_t burst_count = 1;
+  bool has_subtree_kill = false;
+  std::uint32_t sk_node = 2;
+  std::uint32_t sk_at = 1;
+  std::uint32_t sk_dur = 1;
+  double storm_prob = 0.0;
+  std::uint32_t storm_level = 1;
   ft::RetryPolicy retry;
   std::uint64_t seed = 1;
   bool csv = false;
@@ -136,6 +147,19 @@ bool parse(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.has_burst = true;
+    } else if (arg == "--subtree-kill") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%u:%u:%u", &opt.sk_node, &opt.sk_at,
+                            &opt.sk_dur) != 3) {
+        return false;
+      }
+      opt.has_subtree_kill = true;
+    } else if (arg == "--subtree-storm") {
+      const char* v = next();
+      if (!v || std::sscanf(v, "%lf:%u", &opt.storm_prob,
+                            &opt.storm_level) != 2) {
+        return false;
+      }
     } else if (arg == "--retry") {
       const char* v = next();
       if (!v) return false;
@@ -182,6 +206,7 @@ struct RunResult {
   std::uint64_t total_backoffs = 0;
   std::uint64_t fault_down_events = 0;
   std::uint64_t fault_up_events = 0;
+  std::uint64_t subtree_kill_events = 0;
   std::uint64_t degraded_channel_cycles = 0;
 };
 
@@ -228,6 +253,7 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     r.total_backoffs = res.total_backoffs;
     r.fault_down_events = res.fault_down_events;
     r.fault_up_events = res.fault_up_events;
+    r.subtree_kill_events = res.subtree_kill_events;
     r.degraded_channel_cycles = res.degraded_channel_cycles;
     // Complete unless the router hit its cycle cap and gave up, or per-
     // message retry policies ran out.
@@ -256,6 +282,7 @@ RunResult run_one(const ft::FatTreeTopology& topo,
         r.messages_given_up = res.messages_given_up;
         r.fault_down_events = res.fault_down_events;
         r.fault_up_events = res.fault_up_events;
+        r.subtree_kill_events = res.subtree_kill_events;
         r.verified = r.verified && res.messages_given_up == 0 &&
                      res.delivered == schedule.total_messages();
       }
@@ -322,6 +349,24 @@ int main(int argc, char** argv) {
   if (opt.has_burst) {
     plan.add_burst({opt.burst_at, opt.burst_dur, opt.burst_count});
   }
+  if (opt.has_subtree_kill || opt.storm_prob > 0.0) {
+    std::vector<ft::FaultDomain> domains;
+    if (opt.storm_prob > 0.0) {
+      domains = ft::fat_tree_subtree_domains(topo, opt.storm_level);
+    }
+    bool have_kill_root = false;
+    for (const ft::FaultDomain& d : domains) {
+      have_kill_root |= d.node == opt.sk_node;
+    }
+    if (opt.has_subtree_kill && !have_kill_root) {
+      domains.push_back(ft::fat_tree_subtree_domain(topo, opt.sk_node));
+    }
+    plan.set_domains(std::move(domains));
+    if (opt.has_subtree_kill) {
+      plan.add_subtree_kill({opt.sk_node, opt.sk_at, opt.sk_dur});
+    }
+    if (opt.storm_prob > 0.0) plan.set_storm({opt.storm_prob, 1, 8});
+  }
   const ft::FaultPlan* active_plan = plan.empty() ? nullptr : &plan;
 
   const bool want_trace = !opt.trace_path.empty() || !opt.jsonl_path.empty();
@@ -352,6 +397,15 @@ int main(int argc, char** argv) {
         f["burst_at"] = opt.burst_at;
         f["burst_duration"] = opt.burst_dur;
         f["burst_count"] = opt.burst_count;
+      }
+      if (opt.has_subtree_kill) {
+        f["subtree_kill_node"] = opt.sk_node;
+        f["subtree_kill_at"] = opt.sk_at;
+        f["subtree_kill_duration"] = opt.sk_dur;
+      }
+      if (opt.storm_prob > 0.0) {
+        f["subtree_storm_prob"] = opt.storm_prob;
+        f["subtree_storm_level"] = opt.storm_level;
       }
     }
     if (opt.retry.enabled()) {
@@ -416,6 +470,7 @@ int main(int argc, char** argv) {
         ft::JsonValue& f = run["faults"];
         f["fault_down_events"] = r.fault_down_events;
         f["fault_up_events"] = r.fault_up_events;
+        f["subtree_kill_events"] = r.subtree_kill_events;
         f["degraded_channel_cycles"] = r.degraded_channel_cycles;
         f["backoffs"] = r.total_backoffs;
         f["messages_given_up"] = r.messages_given_up;

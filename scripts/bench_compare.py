@@ -39,7 +39,10 @@ def load_rows(spec: str) -> dict[str, float]:
         if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
             rows[name] = float(rate)
     if not rows:
-        raise SystemExit(f"error: no benchmark rows in {spec}")
+        # A side with no rows (e.g. ":baseline" on a report written before
+        # baselines were embedded, or a filtered bench run) is skippable:
+        # compare what exists rather than erroring out of the whole diff.
+        print(f"note: no benchmark rows in {spec}; skipping that side")
     return rows
 
 
@@ -65,6 +68,9 @@ def main() -> int:
     old_rows = load_rows(args.old)
     new_rows = load_rows(args.new)
     names = sorted(set(old_rows) | set(new_rows))
+    if not names:
+        print("note: nothing to compare")
+        return 0
     width = max(len(n) for n in names)
 
     regressions = []

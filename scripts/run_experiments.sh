@@ -1,5 +1,5 @@
 #!/bin/sh
-# Regenerates every experiment table (E1-E15 + microbenchmarks) from a
+# Regenerates every experiment table (E1-E16 + microbenchmarks) from a
 # configured build directory (default: build). Output mirrors
 # bench_output.txt at the repository root. Machine-readable artifacts —
 # the schema-versioned report_*.json RunReports and BENCH_*.json — are

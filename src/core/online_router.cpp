@@ -55,6 +55,7 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   result.total_backoffs = er.total_backoffs;
   result.fault_down_events = er.fault_down_events;
   result.fault_up_events = er.fault_up_events;
+  result.subtree_kill_events = er.subtree_kill_events;
   result.degraded_channel_cycles = er.degraded_channel_cycles;
   result.delivered_per_cycle = er.delivered_per_cycle;
 

@@ -46,6 +46,7 @@ struct OnlineRoutingResult {
   std::uint64_t total_backoffs = 0;     ///< backoff parkings
   std::uint64_t fault_down_events = 0;  ///< channel down transitions
   std::uint64_t fault_up_events = 0;    ///< channel repair transitions
+  std::uint64_t subtree_kill_events = 0;  ///< correlated domain strikes
   std::uint64_t degraded_channel_cycles = 0;  ///< Σ degraded chans/cycle
   std::vector<std::uint32_t> delivered_per_cycle;
 };

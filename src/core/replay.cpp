@@ -75,6 +75,7 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
   result.messages_given_up = er.messages_given_up;
   result.fault_down_events = er.fault_down_events;
   result.fault_up_events = er.fault_up_events;
+  result.subtree_kill_events = er.subtree_kill_events;
   result.delivered_per_cycle = er.delivered_per_cycle;
   return result;
 }

@@ -43,6 +43,7 @@ struct ReplayResult {
   std::uint64_t messages_given_up = 0;
   std::uint64_t fault_down_events = 0;
   std::uint64_t fault_up_events = 0;
+  std::uint64_t subtree_kill_events = 0;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 

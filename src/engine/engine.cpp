@@ -487,8 +487,13 @@ EngineResult CycleEngine::run_lossy_t(
       active_limit_ = faults->eff_limit().data();
       result.fault_down_events += cf->went_down.size();
       result.fault_up_events += cf->came_up.size();
+      result.subtree_kill_events += cf->killed_nodes.size();
       result.degraded_channel_cycles += cf->degraded_channels;
       if (trace) {
+        for (const std::uint32_t node : cf->killed_nodes) {
+          observer->on_message_event(
+              {MessageEventKind::SubtreeKill, kNoMessage, cycle, node});
+        }
         for (const std::uint32_t c : cf->went_down) {
           observer->on_message_event(
               {MessageEventKind::FaultDown, kNoMessage, cycle, c});
@@ -754,6 +759,8 @@ EngineResult CycleEngine::run_lossy_t(
       if (cf != nullptr) {
         snap.faults_down = static_cast<std::uint32_t>(cf->went_down.size());
         snap.faults_up = static_cast<std::uint32_t>(cf->came_up.size());
+        snap.subtree_kills =
+            static_cast<std::uint32_t>(cf->killed_nodes.size());
         snap.channels_down = cf->channels_down;
         snap.degraded_channels = cf->degraded_channels;
       }
@@ -897,8 +904,13 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
       active_limit_ = faults->eff_limit().data();
       result.fault_down_events += cf->went_down.size();
       result.fault_up_events += cf->came_up.size();
+      result.subtree_kill_events += cf->killed_nodes.size();
       result.degraded_channel_cycles += cf->degraded_channels;
       if (trace) {
+        for (const std::uint32_t node : cf->killed_nodes) {
+          observer->on_message_event(
+              {MessageEventKind::SubtreeKill, kNoMessage, round, node});
+        }
         for (const std::uint32_t c : cf->went_down) {
           observer->on_message_event(
               {MessageEventKind::FaultDown, kNoMessage, round, c});
@@ -956,6 +968,8 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
       if (cf != nullptr) {
         snap.faults_down = static_cast<std::uint32_t>(cf->went_down.size());
         snap.faults_up = static_cast<std::uint32_t>(cf->came_up.size());
+        snap.subtree_kills =
+            static_cast<std::uint32_t>(cf->killed_nodes.size());
         snap.channels_down = cf->channels_down;
         snap.degraded_channels = cf->degraded_channels;
       }

@@ -85,6 +85,9 @@ struct EngineResult {
   // Dynamic-fault accounting (zero without an active FaultPlan).
   std::uint64_t fault_down_events = 0;
   std::uint64_t fault_up_events = 0;
+  /// Correlated subtree-kill events (scheduled or storm-drawn domain
+  /// strikes); each also contributes its channels to fault_down_events.
+  std::uint64_t subtree_kill_events = 0;
   /// Channel-cycles spent below full admission limit (down or browned
   /// out): the time-degraded numerator of availability.
   std::uint64_t degraded_channel_cycles = 0;

@@ -29,6 +29,36 @@ ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
   return g;
 }
 
+FaultDomain fat_tree_subtree_domain(const FatTreeTopology& topo, NodeId v) {
+  FT_CHECK(v >= 1 && v <= topo.num_nodes());
+  FaultDomain dom;
+  dom.node = v;
+  const std::uint32_t lv = topo.level(v);
+  for (std::uint32_t lvl = lv; lvl <= topo.height(); ++lvl) {
+    const std::uint32_t shift = lvl - lv;
+    const NodeId first = v << shift;
+    const NodeId count = NodeId{1} << shift;
+    for (NodeId u = first; u < first + count; ++u) {
+      dom.channels.push_back(static_cast<std::uint32_t>(
+          channel_index(ChannelId{u, Direction::Up})));
+      dom.channels.push_back(static_cast<std::uint32_t>(
+          channel_index(ChannelId{u, Direction::Down})));
+    }
+  }
+  return dom;
+}
+
+std::vector<FaultDomain> fat_tree_subtree_domains(const FatTreeTopology& topo,
+                                                  std::uint32_t level) {
+  FT_CHECK(level <= topo.height());
+  std::vector<FaultDomain> domains;
+  const NodeId first = NodeId{1} << level;
+  for (NodeId v = first; v < first * 2; ++v) {
+    domains.push_back(fat_tree_subtree_domain(topo, v));
+  }
+  return domains;
+}
+
 EnginePath fat_tree_engine_path(const FatTreeTopology& topo, Leaf src,
                                 Leaf dst) {
   EnginePath path;

@@ -17,11 +17,25 @@
 #include "core/message.hpp"
 #include "core/topology.hpp"
 #include "engine/channel_graph.hpp"
+#include "engine/fault_plan.hpp"
 
 namespace ft {
 
 ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
                                     const CapacityProfile& caps);
+
+/// Correlated-failure domain of the subtree rooted at internal node v:
+/// both channels of every node in the subtree, including v's own pair (the
+/// edge to v's parent), modelling a shared power feed or cable bundle.
+/// The domain is labelled by v's heap number, which matches the heap
+/// numbering of build_binary_tree and (for k = 2) the k-ary pod label, so
+/// the same FaultPlan scenario can be replayed across backends.
+FaultDomain fat_tree_subtree_domain(const FatTreeTopology& topo, NodeId v);
+
+/// Domains for every internal node at heap level `level` (root = 0):
+/// 2^level disjoint subtrees covering all leaves.
+std::vector<FaultDomain> fat_tree_subtree_domains(const FatTreeTopology& topo,
+                                                  std::uint32_t level);
 
 /// The unique tree path of one message as engine channel indices (empty
 /// when src == dst).

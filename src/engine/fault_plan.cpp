@@ -13,6 +13,7 @@ namespace {
 // the same cycle/channel pair under the arbitration seed).
 constexpr std::uint64_t kFlapSalt = 0xf1a9f1a9f1a9f1a9ULL;
 constexpr std::uint64_t kBurstSalt = 0xb0b5b0b5b0b5b0b5ULL;
+constexpr std::uint64_t kSubtreeSalt = 0x5ab7ee5ab7ee5ab7ULL;
 
 /// One uniform double in [0, 1) from a private (seed, cycle, channel)
 /// stream: no draw depends on the order channels are visited in.
@@ -35,6 +36,17 @@ FaultState::FaultState(const FaultPlan& plan, const ChannelGraph& graph)
   forced_down_until_.assign(n, 0);
   was_down_.assign(n, 0);
   eff_limit_.assign(n, 0);
+  domain_down_until_.assign(plan.domains().size(), 0);
+  for (const FaultDomain& dom : plan.domains()) {
+    for (const std::uint32_t c : dom.channels) {
+      FT_CHECK_MSG(c < n, "FaultDomain channel out of range for this graph");
+    }
+  }
+  for (const SubtreeKill& k : plan.subtree_kills()) {
+    bool known = false;
+    for (const FaultDomain& dom : plan.domains()) known |= dom.node == k.node;
+    FT_CHECK_MSG(known, "SubtreeKill names a node with no FaultDomain");
+  }
 }
 
 const FaultState::CycleFaults& FaultState::begin_cycle(
@@ -44,8 +56,46 @@ const FaultState::CycleFaults& FaultState::begin_cycle(
   last_cycle_ = cycle;
   out_.went_down.clear();
   out_.came_up.clear();
+  out_.killed_nodes.clear();
   out_.channels_down = 0;
   out_.degraded_channels = 0;
+
+  // Correlated subtree kills. Scheduled kills fire exactly at their cycle
+  // (and extend an outage already in progress); the storm strikes each
+  // currently-up domain with kill_prob from a private (seed, cycle, node)
+  // stream, so timelines are independent of domain visit order and
+  // identical serial vs parallel. Felled channels reuse the burst
+  // forced-down mechanism, so went_down/came_up transitions and limits
+  // fall out of the per-channel pass below.
+  for (std::size_t d = 0; d < plan_.domains().size(); ++d) {
+    const FaultDomain& dom = plan_.domains()[d];
+    std::uint32_t duration = 0;
+    for (const SubtreeKill& k : plan_.subtree_kills()) {
+      if (k.node == dom.node && k.at_cycle == cycle)
+        duration = std::max(duration, k.duration);
+    }
+    const SubtreeStormModel& storm = plan_.storm();
+    if (duration == 0 && storm.kill_prob > 0.0 &&
+        cycle >= domain_down_until_[d]) {
+      SplitMix64 sm(plan_.seed() ^ kSubtreeSalt ^
+                    (static_cast<std::uint64_t>(cycle) << 32) ^ dom.node);
+      const double u = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+      if (u < storm.kill_prob) {
+        const std::uint64_t span =
+            storm.max_duration - storm.min_duration + 1;
+        duration = storm.min_duration +
+                   static_cast<std::uint32_t>(sm.next() % span);
+      }
+    }
+    if (duration == 0) continue;
+    out_.killed_nodes.push_back(dom.node);
+    domain_down_until_[d] =
+        std::max(domain_down_until_[d], cycle + duration);
+    for (const std::uint32_t c : dom.channels) {
+      forced_down_until_[c] =
+          std::max(forced_down_until_[c], cycle + duration);
+    }
+  }
 
   // Burst kills trigger exactly at their cycle; the victim set is a pure
   // function of (plan seed, at_cycle), drawn by partial Fisher–Yates over

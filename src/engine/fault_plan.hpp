@@ -2,10 +2,12 @@
 // models in core/faults degrade a CapacityProfile *before* a run; a
 // FaultPlan describes faults that strike *during* one — channels flapping
 // down and up with memoryless (geometric ≈ discrete exponential) holding
-// times, capacity brownouts over a cycle window, and burst kills that take
-// out a random set of channels at a given cycle — so the paper's retry
-// loop (Section II: loss + acknowledgment + retry) is exercised under
-// churn, not just against pre-damaged capacities.
+// times, capacity brownouts over a cycle window, burst kills that take
+// out a random set of channels at a given cycle, and *correlated* subtree
+// kills that fell every channel in a fate-sharing domain (a subtree's
+// power feed or cable bundle) at once — so the paper's retry loop
+// (Section II: loss + acknowledgment + retry) is exercised under churn,
+// not just against pre-damaged capacities.
 //
 // Determinism contract: a plan is an immutable description; the engine
 // materializes a per-run FaultState whose entire evolution is a pure
@@ -76,6 +78,33 @@ struct BurstKill {
   std::uint32_t count = 1;
 };
 
+/// A correlated-failure domain: the set of engine channels that share a
+/// physical fate (power feed, cable bundle) with the subtree rooted at
+/// `node`. The channel list is topology-specific — built by
+/// fat_tree_subtree_domain / kary_pod_domains / binary_tree_subtree_domain
+/// — so the FaultPlan itself stays topology-agnostic.
+struct FaultDomain {
+  std::uint32_t node = 0;               ///< topology label of the domain root
+  std::vector<std::uint32_t> channels;  ///< engine channel ids, fate-shared
+};
+
+/// Scheduled subtree kill: every channel in the domain rooted at `node`
+/// goes hard down at `at_cycle` and repairs `duration` cycles later.
+struct SubtreeKill {
+  std::uint32_t node = 0;
+  std::uint32_t at_cycle = 1;
+  std::uint32_t duration = 1;
+};
+
+/// Random correlated kills: each cycle, every *up* domain is struck with
+/// probability kill_prob (private per-(seed, cycle, node) stream); the
+/// outage lasts uniform [min_duration, max_duration] cycles.
+struct SubtreeStormModel {
+  double kill_prob = 0.0;
+  std::uint32_t min_duration = 1;
+  std::uint32_t max_duration = 8;
+};
+
 /// Immutable transient-fault description handed to the engine via
 /// EngineOptions::fault_plan (not owned; must outlive the run).
 class FaultPlan {
@@ -98,21 +127,54 @@ class FaultPlan {
     bursts_.push_back(b);
     return *this;
   }
+  /// Installs the correlated-failure domains (required before any
+  /// subtree kill or storm takes effect). Domain roots must be unique.
+  FaultPlan& set_domains(std::vector<FaultDomain> domains) {
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      for (std::size_t j = i + 1; j < domains.size(); ++j) {
+        FT_CHECK_MSG(domains[i].node != domains[j].node,
+                     "duplicate FaultDomain root");
+      }
+    }
+    domains_ = std::move(domains);
+    return *this;
+  }
+  FaultPlan& add_subtree_kill(const SubtreeKill& k) {
+    FT_CHECK(k.at_cycle >= 1);
+    FT_CHECK(k.duration >= 1);
+    subtree_kills_.push_back(k);
+    return *this;
+  }
+  FaultPlan& set_storm(const SubtreeStormModel& s) {
+    FT_CHECK(s.kill_prob >= 0.0 && s.kill_prob <= 1.0);
+    FT_CHECK(s.min_duration >= 1 && s.min_duration <= s.max_duration);
+    storm_ = s;
+    return *this;
+  }
 
   bool empty() const {
-    return flaps_.down_prob == 0.0 && brownouts_.empty() && bursts_.empty();
+    return flaps_.down_prob == 0.0 && brownouts_.empty() && bursts_.empty() &&
+           subtree_kills_.empty() && storm_.kill_prob == 0.0;
   }
 
   std::uint64_t seed() const { return seed_; }
   const ChannelFlapModel& flaps() const { return flaps_; }
   const std::vector<BrownoutWindow>& brownouts() const { return brownouts_; }
   const std::vector<BurstKill>& bursts() const { return bursts_; }
+  const std::vector<FaultDomain>& domains() const { return domains_; }
+  const std::vector<SubtreeKill>& subtree_kills() const {
+    return subtree_kills_;
+  }
+  const SubtreeStormModel& storm() const { return storm_; }
 
  private:
   std::uint64_t seed_;
   ChannelFlapModel flaps_;
   std::vector<BrownoutWindow> brownouts_;
   std::vector<BurstKill> bursts_;
+  std::vector<FaultDomain> domains_;
+  std::vector<SubtreeKill> subtree_kills_;
+  SubtreeStormModel storm_;
 };
 
 /// Per-run dynamic fault state. The engine creates one per run and calls
@@ -128,6 +190,9 @@ class FaultState {
     /// channel order (the trace event emission order).
     std::vector<std::uint32_t> went_down;
     std::vector<std::uint32_t> came_up;
+    /// Domain roots whose subtree was struck at this cycle (scheduled
+    /// kill or storm draw), in plan domain order.
+    std::vector<std::uint32_t> killed_nodes;
     std::uint32_t channels_down = 0;  ///< down during this cycle
     /// Channels whose effective limit is below base this cycle (down or
     /// browned out) — the numerator of time-degraded availability.
@@ -151,7 +216,8 @@ class FaultState {
   const ChannelGraph& graph_;
   std::vector<std::uint32_t> usable_;     ///< channel ids, capacity > 0
   std::vector<std::uint8_t> flap_down_;   ///< per channel
-  std::vector<std::uint32_t> forced_down_until_;  ///< burst repair cycle
+  std::vector<std::uint32_t> forced_down_until_;  ///< burst/kill repair cycle
+  std::vector<std::uint32_t> domain_down_until_;  ///< per plan domain
   std::vector<std::uint8_t> was_down_;    ///< effective state last cycle
   std::vector<std::uint32_t> eff_limit_;
   std::uint32_t last_cycle_ = 0;

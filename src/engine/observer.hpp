@@ -37,6 +37,7 @@ struct CycleSnapshot {
   // FaultPlan / RetryPolicy, see engine/fault_plan.hpp).
   std::uint32_t faults_down = 0;    ///< channels that failed at cycle start
   std::uint32_t faults_up = 0;      ///< channels that recovered
+  std::uint32_t subtree_kills = 0;  ///< correlated domains struck this cycle
   std::uint32_t channels_down = 0;  ///< channels down during this cycle
   std::uint64_t degraded_channels = 0;  ///< channels below full capacity
   std::uint32_t backoffs = 0;       ///< messages that entered retry backoff
@@ -61,7 +62,9 @@ inline constexpr std::uint32_t kNoMessage =
 /// for messages that were already injected (batches never injected leave
 /// no events). Runs under a FaultPlan additionally emit FaultDown/FaultUp
 /// channel-state events (message = kNoMessage) at the start of the cycle
-/// the transition takes effect in.
+/// the transition takes effect in, preceded by one SubtreeKill event per
+/// correlated domain struck that cycle (`channel` carries the domain's
+/// topology node label, not a channel id).
 enum class MessageEventKind : std::uint8_t {
   Inject,   ///< message entered the engine (channel = first path channel)
   Attempt,  ///< lossy: message contends for its full path this cycle
@@ -73,6 +76,8 @@ enum class MessageEventKind : std::uint8_t {
             ///< (max_attempts / deadline) ran out
   FaultDown,  ///< `channel` failed at this cycle's start (msg = kNoMessage)
   FaultUp,    ///< `channel` recovered (msg = kNoMessage)
+  SubtreeKill,  ///< correlated domain struck; `channel` = domain node label
+                ///< (msg = kNoMessage), emitted before the FaultDown batch
 };
 
 struct MessageEvent {

@@ -34,8 +34,10 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   CycleEngine engine(kary_channel_graph(tree), eopts);
   const EngineResult er = engine.run(kary_path_set(routes), opts.observer);
   result.rounds = er.cycles;
+  result.delivered = er.delivered;
   result.fault_down_events = er.fault_down_events;
   result.fault_up_events = er.fault_up_events;
+  result.subtree_kill_events = er.subtree_kill_events;
   return result;
 }
 

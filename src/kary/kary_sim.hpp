@@ -18,11 +18,14 @@ namespace ft {
 
 struct KarySimResult {
   std::uint32_t rounds = 0;
+  std::uint64_t delivered = 0;  ///< messages delivered (== perm size when
+                                ///< the run completes)
   std::uint64_t max_link_load = 0;
   double mean_link_load = 0.0;
   std::uint32_t max_route_hops = 0;
   std::uint64_t fault_down_events = 0;  ///< link down transitions
   std::uint64_t fault_up_events = 0;    ///< link repair transitions
+  std::uint64_t subtree_kill_events = 0;  ///< correlated domain strikes
 };
 
 struct KarySimOptions {

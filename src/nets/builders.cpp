@@ -127,6 +127,25 @@ Network build_binary_tree(std::uint32_t depth) {
   return net;
 }
 
+FaultDomain binary_tree_subtree_domain(std::uint32_t depth,
+                                       std::uint32_t heap_node) {
+  const std::uint32_t nodes = 2 * (1u << depth) - 1;
+  FT_CHECK(heap_node >= 1 && heap_node <= nodes);
+  FaultDomain dom;
+  dom.node = heap_node;
+  const std::uint32_t lv = floor_log2(heap_node);
+  for (std::uint32_t lvl = lv; lvl <= depth; ++lvl) {
+    const std::uint32_t shift = lvl - lv;
+    const std::uint32_t first = heap_node << shift;
+    for (std::uint32_t u = first; u < first + (1u << shift); ++u) {
+      if (u < 2) continue;  // the root has no parent edge
+      dom.channels.push_back(2 * (u - 2));      // u -> parent
+      dom.channels.push_back(2 * (u - 2) + 1);  // parent -> u
+    }
+  }
+  return dom;
+}
+
 Network build_benes(std::uint32_t k) {
   FT_CHECK(k >= 1 && k <= 16);
   const std::uint32_t rows = 1u << k;

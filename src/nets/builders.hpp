@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "engine/fault_plan.hpp"
 #include "nets/network.hpp"
 
 namespace ft {
@@ -34,6 +35,15 @@ Network build_butterfly(std::uint32_t k);
 /// Complete binary tree with n = 2^depth leaf processors and unit-capacity
 /// links (the non-fat tree the paper contrasts with).
 Network build_binary_tree(std::uint32_t depth);
+
+/// Correlated-failure domain of the subtree rooted at `heap_node` in
+/// build_binary_tree(depth): both directions of every edge incident to a
+/// subtree node, including the edge to heap_node's parent. Link ids
+/// follow build_binary_tree's add_bidi order (up 2*(v-2), down 2*(v-2)+1
+/// for heap node v >= 2); the heap label matches fat_tree_subtree_domain,
+/// so one kill scenario replays across backends.
+FaultDomain binary_tree_subtree_domain(std::uint32_t depth,
+                                       std::uint32_t heap_node);
 
 /// Beneš network on n = 2^k terminals: back-to-back butterflies with
 /// 2k - 1 switch stages. Processors are the n inputs (and outputs).

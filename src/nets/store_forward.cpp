@@ -22,11 +22,13 @@ StoreForwardResult simulate_store_forward(const Network& net,
 
   StoreForwardResult result;
   result.rounds = er.cycles;
+  result.delivered = er.delivered;
   result.total_hops = er.total_hops;
   result.max_queue = er.max_queue;
   result.gave_up = er.gave_up;
   result.fault_down_events = er.fault_down_events;
   result.fault_up_events = er.fault_up_events;
+  result.subtree_kill_events = er.subtree_kill_events;
   result.mean_latency = routes.empty()
                             ? 0.0
                             : er.latency_sum /

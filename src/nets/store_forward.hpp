@@ -20,12 +20,15 @@ namespace ft {
 
 struct StoreForwardResult {
   std::uint32_t rounds = 0;         ///< time to deliver everything
+  std::uint64_t delivered = 0;      ///< messages delivered (== routes unless
+                                    ///< gave_up; includes round-0 locals)
   std::uint64_t total_hops = 0;     ///< sum of route lengths
   double mean_latency = 0.0;        ///< average per-message finish round
   std::uint32_t max_queue = 0;      ///< peak per-link queue length
   bool gave_up = false;             ///< hit max_rounds with traffic queued
   std::uint64_t fault_down_events = 0;  ///< link down transitions
   std::uint64_t fault_up_events = 0;    ///< link repair transitions
+  std::uint64_t subtree_kill_events = 0;  ///< correlated domain strikes
 };
 
 struct StoreForwardOptions {

@@ -100,6 +100,7 @@ EngineMetrics::EngineMetrics()
       delivered_(&registry_.counter("engine.delivered")),
       fault_down_(&registry_.counter("engine.fault_down_events")),
       fault_up_(&registry_.counter("engine.fault_up_events")),
+      subtree_kills_(&registry_.counter("engine.subtree_kill_events")),
       backoffs_(&registry_.counter("engine.backoffs")),
       gave_up_(&registry_.counter("engine.messages_given_up")),
       degraded_(&registry_.counter("engine.degraded_channel_cycles")),
@@ -117,6 +118,7 @@ void EngineMetrics::on_cycle(const CycleSnapshot& s) {
   delivered_->add(s.delivered);
   fault_down_->add(s.faults_down);
   fault_up_->add(s.faults_up);
+  subtree_kills_->add(s.subtree_kills);
   backoffs_->add(s.backoffs);
   gave_up_->add(s.gave_up);
   degraded_->add(s.degraded_channels);

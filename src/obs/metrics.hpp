@@ -108,6 +108,7 @@ class EngineMetrics final : public EngineObserver {
   // Fault / retry lifecycle (all zero on fault-free runs).
   std::uint64_t fault_down_events() const { return fault_down_->value(); }
   std::uint64_t fault_up_events() const { return fault_up_->value(); }
+  std::uint64_t subtree_kill_events() const { return subtree_kills_->value(); }
   std::uint64_t total_backoffs() const { return backoffs_->value(); }
   std::uint64_t messages_given_up() const { return gave_up_->value(); }
   std::uint64_t degraded_channel_cycles() const {
@@ -150,6 +151,7 @@ class EngineMetrics final : public EngineObserver {
   Counter* delivered_;
   Counter* fault_down_;
   Counter* fault_up_;
+  Counter* subtree_kills_;
   Counter* backoffs_;
   Counter* gave_up_;
   Counter* degraded_;

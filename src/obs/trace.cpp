@@ -11,6 +11,7 @@ namespace {
 /// the cycle's [start, start + kTicksPerCycle) slice in lifecycle order.
 std::uint64_t kind_offset(MessageEventKind k) {
   switch (k) {
+    case MessageEventKind::SubtreeKill: return 30;
     case MessageEventKind::FaultDown: return 40;
     case MessageEventKind::FaultUp: return 50;
     case MessageEventKind::Inject: return 100;
@@ -32,10 +33,14 @@ std::uint64_t cycle_start_ticks(std::uint32_t cycle) {
 
 JsonValue event_args(const MessageEvent& e) {
   JsonValue args = JsonValue::object();
-  // Channel-state events (FaultDown/FaultUp) carry no message id.
+  // Channel-state events (FaultDown/FaultUp) carry no message id, and a
+  // SubtreeKill's channel field is the struck domain's node label.
   if (e.message != kNoMessage) args["message"] = e.message;
   args["cycle"] = e.cycle;
-  if (e.channel != kNoChannel) args["channel"] = e.channel;
+  if (e.channel != kNoChannel) {
+    args[e.kind == MessageEventKind::SubtreeKill ? "node" : "channel"] =
+        e.channel;
+  }
   return args;
 }
 
@@ -52,6 +57,7 @@ const char* TraceSink::kind_name(MessageEventKind k) {
     case MessageEventKind::GiveUp: return "give_up";
     case MessageEventKind::FaultDown: return "fault_down";
     case MessageEventKind::FaultUp: return "fault_up";
+    case MessageEventKind::SubtreeKill: return "subtree_kill";
   }
   return "unknown";
 }
@@ -66,6 +72,7 @@ void TraceSink::on_cycle(const CycleSnapshot& s) {
   rec.peak_queue = s.peak_queue;
   rec.faults_down = s.faults_down;
   rec.faults_up = s.faults_up;
+  rec.subtree_kills = s.subtree_kills;
   rec.channels_down = s.channels_down;
   rec.degraded_channels = s.degraded_channels;
   rec.backoffs = s.backoffs;
@@ -104,7 +111,10 @@ void TraceSink::write_jsonl(std::ostream& os) const {
       line["type"] = kind_name(e.kind);
       if (e.message != kNoMessage) line["msg"] = e.message;
       line["cycle"] = e.cycle;
-      if (e.channel != kNoChannel) line["channel"] = e.channel;
+      if (e.channel != kNoChannel) {
+        line[e.kind == MessageEventKind::SubtreeKill ? "node" : "channel"] =
+            e.channel;
+      }
       line.write(os, 0);
       os << '\n';
     }
@@ -121,6 +131,7 @@ void TraceSink::write_jsonl(std::ostream& os) const {
     if (rec.peak_queue != 0) line["peak_queue"] = rec.peak_queue;
     if (rec.faults_down != 0) line["faults_down"] = rec.faults_down;
     if (rec.faults_up != 0) line["faults_up"] = rec.faults_up;
+    if (rec.subtree_kills != 0) line["subtree_kills"] = rec.subtree_kills;
     if (rec.channels_down != 0) line["channels_down"] = rec.channels_down;
     if (rec.degraded_channels != 0) {
       line["degraded_channels"] = rec.degraded_channels;

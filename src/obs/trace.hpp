@@ -28,6 +28,7 @@ struct TraceCycleRecord {
   // JSONL cycle record when zero so fault-free output is unchanged).
   std::uint32_t faults_down = 0;
   std::uint32_t faults_up = 0;
+  std::uint32_t subtree_kills = 0;
   std::uint32_t channels_down = 0;
   std::uint64_t degraded_channels = 0;
   std::uint32_t backoffs = 0;

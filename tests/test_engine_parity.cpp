@@ -295,6 +295,90 @@ TEST(EngineParity, TransientFaultsSerialEqualsParallel) {
   EXPECT_EQ(delivered, m.size());
 }
 
+// Golden determinism for correlated subtree kills: for two plan seeds the
+// full timeline — cycle count, kill/fault counters, and an FNV-1a
+// fingerprint of the traced event stream — is pinned, and serial and
+// parallel runs agree bit-for-bit. Any change to the per-(seed, cycle,
+// node) storm streams, the kill → forced-down expansion, or event
+// ordering shows up here as a changed fingerprint.
+TEST(EngineParity, SubtreeKillGoldenTimelines) {
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::universal(t, 16);
+  Rng gen(101);
+  const auto m = stacked_permutations(n, 3, gen);
+
+  struct Golden {
+    std::uint64_t plan_seed;
+    std::uint32_t delivery_cycles;
+    std::uint64_t subtree_kill_events;
+    std::uint64_t fault_down_events;
+    std::uint64_t fault_up_events;
+    std::uint64_t event_fingerprint;
+  };
+  const Golden goldens[] = {
+      {201, 453, 80, 4774, 4774, 733948185611607479ull},
+      {202, 453, 79, 4712, 4712, 7881268179795093087ull},
+  };
+
+  for (const Golden& g : goldens) {
+    FaultPlan plan(g.plan_seed);
+    plan.set_domains(fat_tree_subtree_domains(t, 2));
+    plan.add_subtree_kill({/*node=*/4, /*at_cycle=*/2, /*duration=*/5});
+    plan.set_storm({0.05, 1, 6});
+
+    std::vector<OnlineRoutingResult> results;
+    std::vector<std::uint64_t> prints;
+    for (const bool parallel : {false, true}) {
+      TraceSink trace;
+      Rng rng(777);  // engine seed fixed; only the plan seed varies
+      OnlineRouterOptions opts;
+      opts.parallel = parallel;
+      opts.fault_plan = &plan;
+      opts.retry.exponential_backoff = true;
+      opts.observer = &trace;
+      results.push_back(route_online(t, caps, m, rng, opts));
+
+      std::uint64_t h = 14695981039346656037ull;  // FNV-1a over events
+      const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+      };
+      for (const MessageEvent& e : trace.message_events()) {
+        mix(static_cast<std::uint64_t>(e.kind));
+        mix(e.message);
+        mix(e.cycle);
+        mix(e.channel);
+      }
+      prints.push_back(h);
+    }
+    const auto& s = results[0];
+    const auto& p = results[1];
+    EXPECT_EQ(s.delivery_cycles, p.delivery_cycles);
+    EXPECT_EQ(s.delivered_per_cycle, p.delivered_per_cycle);
+    EXPECT_EQ(s.subtree_kill_events, p.subtree_kill_events);
+    EXPECT_EQ(s.fault_down_events, p.fault_down_events);
+    EXPECT_EQ(s.fault_up_events, p.fault_up_events);
+    EXPECT_EQ(prints[0], prints[1]);
+
+    EXPECT_FALSE(s.gave_up);
+    const auto delivered =
+        std::accumulate(s.delivered_per_cycle.begin(),
+                        s.delivered_per_cycle.end(), std::uint64_t{0});
+    EXPECT_EQ(delivered, m.size());
+
+    EXPECT_EQ(s.delivery_cycles, g.delivery_cycles)
+        << "plan seed " << g.plan_seed;
+    EXPECT_EQ(s.subtree_kill_events, g.subtree_kill_events)
+        << "plan seed " << g.plan_seed;
+    EXPECT_EQ(s.fault_down_events, g.fault_down_events)
+        << "plan seed " << g.plan_seed;
+    EXPECT_EQ(s.fault_up_events, g.fault_up_events)
+        << "plan seed " << g.plan_seed;
+    EXPECT_EQ(prints[0], g.event_fingerprint)
+        << "plan seed " << g.plan_seed;
+  }
+}
+
 TEST(EngineParity, FifoTraceSerialEqualsParallel) {
   const auto net = build_hypercube(6);
   Rng traffic(81);
