@@ -218,7 +218,7 @@ BENCHMARK(BM_EngineDeliveryCycles)
 struct EngineBenchRow {
   std::uint32_t n = 0;
   const char* mode = "";
-  std::uint32_t cycles = 0;
+  std::uint64_t cycles = 0;
   double seconds = 0.0;
   double cycles_per_sec = 0.0;
   double allocs_per_cycle = 0.0;
@@ -333,6 +333,11 @@ void write_engine_bench(const char* path) {
                 << row.allocs_per_cycle << " allocs/cycle\n";
     }
   }
+  // Sampled after the benchmark loop so it covers the largest workload;
+  // comparisons across hosts should also check host.hardware_threads
+  // (scripts/bench_compare.py warns on a mismatch). Re-indexed through
+  // doc: the earlier `host` reference is invalidated by key insertions.
+  doc["host"]["peak_rss_bytes"] = ft::host_peak_rss_bytes();
   ft::JsonValue& baseline = doc["baseline"];
   baseline = ft::JsonValue::object();
   baseline["git_sha"] = "daff69516052";

@@ -1,0 +1,240 @@
+// E17 — million-leaf scale-out: streamed message sets plus the
+// subtree-sharded parallel engine route a full random permutation on an
+// n = 2^20 universal fat-tree (w = n/2) within a bounded memory
+// footprint, and every thread count produces bit-identical results.
+//
+// The workload is generated on demand (RandomPermutationStream keeps only
+// the 4n-byte destination table) and compiled to engine input one chunk
+// at a time, so the run's peak RSS is dominated by the engine's live
+// state, not the input. The sweep times serial mode and parallel mode at
+// 1, 2, 4, ... hardware threads; cycles/s per thread count lands in
+// report_exp_scaleout.json (schema ft.run_report/1).
+//
+// Gates (exit 1 on failure):
+//   - every run delivers all n messages without giving up;
+//   - delivery cycles, losses, and the delivered-per-cycle histogram are
+//     identical across all thread counts (serial == sharded parallel);
+//   - peak RSS stays under 8 GiB at n = 2^20;
+//   - on hosts with >= 4 hardware threads, the best parallel run reaches
+//     >= 1.5x serial cycles/s (skipped below 4 threads, where the
+//     speedup is not measurable).
+//
+// Usage: exp_scaleout [--quick]   (--quick drops to n = 2^18 for CI)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/online_router.hpp"
+#include "core/topology.hpp"
+#include "core/traffic.hpp"
+#include "obs/run_report.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct SweepRow {
+  std::string mode;
+  std::size_t threads = 0;  // 0 = serial
+  std::uint64_t cycles = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t histogram_fnv = 0;
+  double seconds = 0.0;
+  double cycles_per_sec = 0.0;
+};
+
+std::uint64_t fnv1a_u32(const std::vector<std::uint32_t>& v) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint32_t x : v) h = (h ^ x) * 1099511628211ull;
+  return h;
+}
+
+SweepRow run_once(const ft::FatTreeTopology& topo,
+                  const ft::CapacityProfile& caps, std::uint32_t n,
+                  bool parallel, std::size_t threads, int reps) {
+  SweepRow row;
+  row.mode = parallel ? "parallel/t=" + std::to_string(threads) : "serial";
+  row.threads = parallel ? threads : 0;
+  row.seconds = 1e300;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    // Fresh generators per repetition: streams are single-pass, and
+    // every run must see the same permutation and draw the same engine
+    // seed — repetitions only tighten the min-of-N timing.
+    ft::Rng gen(777);
+    ft::RandomPermutationStream stream(n, gen);
+    ft::Rng rng(4242);
+
+    ft::OnlineRouterOptions opts;
+    opts.parallel = parallel;
+    opts.threads = threads;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = ft::route_online_stream(topo, caps, stream,
+                                           /*lambda_hint=*/1.0, rng, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    row.cycles = r.delivery_cycles;
+    row.losses = r.total_losses;
+    row.delivered = 0;
+    for (const std::uint32_t d : r.delivered_per_cycle) row.delivered += d;
+    if (r.gave_up) row.delivered = 0;  // a truncated run never passes gates
+    row.histogram_fnv = fnv1a_u32(r.delivered_per_cycle);
+    row.seconds = std::min(
+        row.seconds, std::chrono::duration<double>(t1 - t0).count());
+  }
+  row.cycles_per_sec =
+      row.seconds > 0 ? static_cast<double>(row.cycles) / row.seconds : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint32_t log2_n = quick ? 18 : 20;
+  const std::uint32_t n = 1u << log2_n;
+
+  ft::print_experiment_header(
+      "E17", "million-leaf scale-out (streamed input, sharded engine)",
+      "a 2^20-leaf universal fat-tree routes a random permutation with "
+      "O(chunk) input memory, and the subtree-sharded parallel engine "
+      "matches serial results bit for bit at every thread count");
+
+  ft::RunReport report("exp_scaleout");
+  ft::PhaseTimers timers;
+  report.params()["n"] = n;
+  report.params()["log2_n"] = log2_n;
+  report.params()["root_capacity"] = n / 2;
+  report.params()["quick"] = quick;
+  report.params()["workload"] = std::string("random_permutation");
+
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 2);
+
+  const unsigned hw = ft::host_hardware_threads();
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= (hw == 0 ? 1u : hw); t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  const int reps = quick ? 1 : 3;
+  std::vector<SweepRow> rows;
+  {
+    auto phase = timers.scope("serial");
+    rows.push_back(run_once(topo, caps, n, /*parallel=*/false, 0, reps));
+  }
+  for (const std::size_t t : thread_counts) {
+    auto phase = timers.scope("parallel/t=" + std::to_string(t));
+    rows.push_back(run_once(topo, caps, n, /*parallel=*/true, t, reps));
+  }
+
+  const std::uint64_t peak_rss = ft::host_peak_rss_bytes();
+  constexpr std::uint64_t kRssGate = 8ull << 30;
+
+  ft::Table table({"mode", "cycles", "losses", "delivered", "seconds",
+                   "cycles/s", "msgs/s", "vs serial"});
+  const double serial_rate = rows.front().cycles_per_sec;
+  for (const SweepRow& row : rows) {
+    const double msgs_per_sec =
+        row.seconds > 0 ? static_cast<double>(row.delivered) / row.seconds
+                        : 0.0;
+    table.row()
+        .add(row.mode)
+        .add(row.cycles)
+        .add(row.losses)
+        .add(row.delivered)
+        .add(row.seconds, 2)
+        .add(row.cycles_per_sec, 1)
+        .add(msgs_per_sec, 0)
+        .add(ft::ratio_str(row.cycles_per_sec, serial_rate));
+
+    ft::JsonValue& run = report.add_run("scaleout/" + row.mode);
+    run["mode"] = row.mode;
+    run["threads"] = static_cast<std::uint64_t>(row.threads);
+    run["cycles"] = row.cycles;
+    run["losses"] = row.losses;
+    run["delivered"] = row.delivered;
+    run["histogram_fnv"] = row.histogram_fnv;
+    run["seconds"] = row.seconds;
+    run["cycles_per_sec"] = row.cycles_per_sec;
+    run["messages_per_sec"] = msgs_per_sec;
+  }
+  table.print(std::cout,
+              "n = " + std::to_string(n) + ", w = " + std::to_string(n / 2) +
+                  ": cycles/s vs threads (identical results required)");
+  std::cout << '\n';
+
+  bool ok = true;
+
+  for (const SweepRow& row : rows) {
+    if (row.delivered != n) {
+      std::cout << "GATE FAIL: " << row.mode << " delivered "
+                << row.delivered << " of " << n << " messages\n";
+      ok = false;
+    }
+  }
+  for (const SweepRow& row : rows) {
+    if (row.cycles != rows.front().cycles ||
+        row.losses != rows.front().losses ||
+        row.histogram_fnv != rows.front().histogram_fnv) {
+      std::cout << "GATE FAIL: " << row.mode
+                << " diverges from serial (cycles " << row.cycles << " vs "
+                << rows.front().cycles << ", losses " << row.losses << " vs "
+                << rows.front().losses << ", histogram fnv "
+                << row.histogram_fnv << " vs " << rows.front().histogram_fnv
+                << ")\n";
+      ok = false;
+    }
+  }
+  std::cout << "peak RSS: " << (peak_rss >> 20) << " MiB (gate: "
+            << (kRssGate >> 20) << " MiB)\n";
+  if (peak_rss == 0) {
+    std::cout << "note: peak RSS unavailable on this platform; gate skipped\n";
+  } else if (!quick && peak_rss >= kRssGate) {
+    std::cout << "GATE FAIL: peak RSS " << (peak_rss >> 20)
+              << " MiB >= 8 GiB\n";
+    ok = false;
+  }
+
+  std::string speedup_gate = "skipped (host has fewer than 4 threads)";
+  if (hw >= 4) {
+    double best_parallel = 0.0;
+    for (const SweepRow& row : rows) {
+      if (row.threads > 0) {
+        best_parallel = std::max(best_parallel, row.cycles_per_sec);
+      }
+    }
+    const double speedup = serial_rate > 0 ? best_parallel / serial_rate : 0;
+    if (speedup >= 1.5) {
+      speedup_gate = "passed";
+      std::cout << "speedup gate: best parallel is " << speedup
+                << "x serial (>= 1.5x required)\n";
+    } else {
+      speedup_gate = "FAILED";
+      std::cout << "GATE FAIL: best parallel is only " << speedup
+                << "x serial (>= 1.5x required on a " << hw
+                << "-thread host)\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "speedup gate: skipped (" << hw
+              << " hardware thread(s); needs >= 4)\n";
+  }
+
+  report.root()["peak_rss_bytes"] = peak_rss;
+  report.root()["speedup_gate"] = speedup_gate;
+  report.root()["gates_passed"] = ok;
+  report.set_phases(timers);
+  report.write_file("report_exp_scaleout.json");
+  std::cout << (ok ? "\nall gates passed\n" : "\nGATES FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -24,14 +24,20 @@ import json
 import sys
 
 
-def load_rows(spec: str) -> dict[str, float]:
-    """Returns {row name: cycles_per_sec} for a file path or
-    "<path>:baseline" pseudo-path."""
+def load_rows(spec: str) -> tuple[dict[str, float], int | None]:
+    """Returns ({row name: cycles_per_sec}, host hardware threads) for a
+    file path or "<path>:baseline" pseudo-path. Threads is None when the
+    report predates the host section (a baseline section has no host of
+    its own: the surrounding file's host applies, since baselines are
+    re-measured on the host that embeds them)."""
     use_baseline = spec.endswith(":baseline")
     path = spec[: -len(":baseline")] if use_baseline else spec
     with open(path) as f:
         doc = json.load(f)
     section = doc.get("baseline", {}) if use_baseline else doc
+    threads = doc.get("host", {}).get("hardware_threads")
+    if not isinstance(threads, int) or threads <= 0:
+        threads = None
     rows = {}
     for entry in section.get("benchmarks", []):
         name = entry.get("name")
@@ -43,7 +49,7 @@ def load_rows(spec: str) -> dict[str, float]:
         # baselines were embedded, or a filtered bench run) is skippable:
         # compare what exists rather than erroring out of the whole diff.
         print(f"note: no benchmark rows in {spec}; skipping that side")
-    return rows
+    return rows, threads
 
 
 def main() -> int:
@@ -65,8 +71,18 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    old_rows = load_rows(args.old)
-    new_rows = load_rows(args.new)
+    old_rows, old_threads = load_rows(args.old)
+    new_rows, new_threads = load_rows(args.new)
+    if (
+        old_threads is not None
+        and new_threads is not None
+        and old_threads != new_threads
+    ):
+        print(
+            f"WARNING: reports come from different machines "
+            f"({old_threads} vs {new_threads} hardware threads); "
+            f"parallel-mode ratios are not comparable"
+        )
     names = sorted(set(old_rows) | set(new_rows))
     if not names:
         print("note: nothing to compare")

@@ -1,6 +1,7 @@
 #include "core/online_router.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "core/load.hpp"
 #include "engine/engine.hpp"
@@ -8,29 +9,60 @@
 
 namespace ft {
 
-OnlineRoutingResult route_online(const FatTreeTopology& topo,
-                                 const CapacityProfile& caps,
-                                 const MessageSet& m, Rng& rng,
-                                 const OnlineRouterOptions& opts) {
-  const std::uint32_t L = topo.height();
+namespace {
 
-  // Self messages are delivered locally in the first cycle; everything
-  // else is streamed into one CSR path set (the engine's native input).
-  PathSet paths;
-  paths.reserve(m.size(), m.size() * 2ull * L);
-  std::uint32_t self_delivered = 0;
-  for (const auto& msg : m) {
-    if (msg.src == msg.dst) {
-      ++self_delivered;
-      continue;
+// Self messages are delivered locally in the first cycle and never enter
+// the engine (they would otherwise shift message ids in trace streams).
+// The filter counts them so the caller can fold them back into
+// delivered_per_cycle; the count is complete once the engine has drained
+// the stream.
+class NonSelfStream final : public MessageStream {
+ public:
+  explicit NonSelfStream(MessageStream& inner) : inner_(inner) {}
+
+  bool next(Message& out) override {
+    while (inner_.next(out)) {
+      if (out.src != out.dst) return true;
+      ++self_;
     }
-    append_fat_tree_path(topo, msg.src, msg.dst, paths);
+    return false;
   }
+
+  std::uint32_t self_delivered() const { return self_; }
+
+ private:
+  MessageStream& inner_;
+  std::uint32_t self_ = 0;
+};
+
+// Shard depth for the engine's subtree-sharded parallel mode: about four
+// shards per worker so the per-band shard loop load-balances, capped by
+// the topology (the spine must stay above the leaves) and by bookkeeping
+// overhead (64 shards is plenty for any machine this runs on).
+std::uint32_t pick_shard_level(const FatTreeTopology& topo,
+                               const OnlineRouterOptions& opts) {
+  if (!opts.parallel || topo.height() < 2) return 0;
+  std::size_t workers = opts.threads;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  std::uint32_t lvl = 1;
+  while ((std::size_t{1} << lvl) < workers * 4 && lvl < 6) ++lvl;
+  return std::min(lvl, topo.height() - 1);
+}
+
+}  // namespace
+
+OnlineRoutingResult route_online_stream(const FatTreeTopology& topo,
+                                        const CapacityProfile& caps,
+                                        MessageStream& messages,
+                                        double lambda_hint, Rng& rng,
+                                        const OnlineRouterOptions& opts) {
+  const std::uint32_t L = topo.height();
 
   std::uint32_t max_cycles = opts.max_cycles;
   if (max_cycles == 0) {
-    const double lambda = load_factor(topo, caps, m);
-    max_cycles = 64 * (static_cast<std::uint32_t>(lambda) + L * L + 4);
+    max_cycles = 64 * (static_cast<std::uint32_t>(lambda_hint) + L * L + 4);
   }
 
   EngineOptions eopts;
@@ -43,8 +75,12 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   eopts.retry = opts.retry;
   eopts.fault_plan = opts.fault_plan;
 
-  CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
-  const EngineResult er = engine.run(paths, opts.observer);
+  CycleEngine engine(
+      fat_tree_channel_graph(topo, caps, pick_shard_level(topo, opts)), eopts);
+
+  NonSelfStream routed(messages);
+  FatTreePathSource source(topo, routed);
+  const EngineResult er = engine.run_stream(source, opts.observer);
 
   OnlineRoutingResult result;
   result.delivery_cycles = er.cycles;
@@ -59,16 +95,29 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
   result.degraded_channel_cycles = er.degraded_channel_cycles;
   result.delivered_per_cycle = er.delivered_per_cycle;
 
-  if (self_delivered > 0) {
+  if (routed.self_delivered() > 0) {
     // Purely local traffic still takes one delivery cycle.
     if (result.delivery_cycles == 0) {
       result.delivery_cycles = 1;
-      result.delivered_per_cycle.push_back(self_delivered);
+      result.delivered_per_cycle.push_back(routed.self_delivered());
     } else {
-      result.delivered_per_cycle.front() += self_delivered;
+      result.delivered_per_cycle.front() += routed.self_delivered();
     }
   }
   return result;
+}
+
+OnlineRoutingResult route_online(const FatTreeTopology& topo,
+                                 const CapacityProfile& caps,
+                                 const MessageSet& m, Rng& rng,
+                                 const OnlineRouterOptions& opts) {
+  // The materialized set allows the exact load-factor estimate for the
+  // default give-up horizon; routing itself rides the streaming path.
+  double lambda_hint = 0.0;
+  if (opts.max_cycles == 0) lambda_hint = load_factor(topo, caps, m);
+
+  MessageSetStream stream(m);
+  return route_online_stream(topo, caps, stream, lambda_hint, rng, opts);
 }
 
 }  // namespace ft

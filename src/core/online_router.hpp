@@ -25,6 +25,7 @@
 #include "core/capacity.hpp"
 #include "core/message.hpp"
 #include "core/topology.hpp"
+#include "core/traffic.hpp"
 #include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "util/prng.hpp"
@@ -32,7 +33,7 @@
 namespace ft {
 
 struct OnlineRoutingResult {
-  std::uint32_t delivery_cycles = 0;
+  std::uint64_t delivery_cycles = 0;
   std::uint64_t total_attempts = 0;   ///< Message-attempts over all cycles.
   std::uint64_t total_losses = 0;     ///< Attempts killed by congestion.
   /// True iff the router hit max_cycles with messages still undelivered;
@@ -83,5 +84,18 @@ OnlineRoutingResult route_online(const FatTreeTopology& topo,
                                  const CapacityProfile& caps,
                                  const MessageSet& m, Rng& rng,
                                  const OnlineRouterOptions& opts = {});
+
+/// Streaming form: the workload arrives as a MessageStream and is compiled
+/// into engine input one chunk at a time, so the full CSR path set never
+/// exists (peak input memory is one chunk; see DESIGN.md "Scale-out").
+/// `lambda_hint` stands in for load_factor(topo, caps, m) in the default
+/// max_cycles estimate, since the message set cannot be scanned twice; it
+/// is ignored when opts.max_cycles is nonzero. For the same messages in
+/// the same order, the result is bit-identical to route_online.
+OnlineRoutingResult route_online_stream(const FatTreeTopology& topo,
+                                        const CapacityProfile& caps,
+                                        MessageStream& messages,
+                                        double lambda_hint, Rng& rng,
+                                        const OnlineRouterOptions& opts = {});
 
 }  // namespace ft

@@ -38,6 +38,30 @@ class ViolationCounter final : public EngineObserver {
   std::uint64_t violations_ = 0;
 };
 
+/// Streams the schedule into the engine one scheduled cycle per chunk:
+/// only one cycle's paths are materialized at a time, however long the
+/// schedule is.
+class ScheduleBatchSource final : public MessageSource {
+ public:
+  ScheduleBatchSource(const FatTreeTopology& topo, const Schedule& schedule)
+      : topo_(topo), schedule_(schedule) {}
+
+  bool next_chunk(PathSet& chunk) override {
+    if (next_ >= schedule_.cycles.size()) return false;
+    chunk.clear();
+    for (const auto& msg : schedule_.cycles[next_]) {
+      append_fat_tree_path(topo_, msg.src, msg.dst, chunk);
+    }
+    ++next_;
+    return true;
+  }
+
+ private:
+  const FatTreeTopology& topo_;
+  const Schedule& schedule_;
+  std::size_t next_ = 0;
+};
+
 }  // namespace
 
 ReplayResult replay_schedule(const FatTreeTopology& topo,
@@ -45,12 +69,6 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
                              const Schedule& schedule,
                              const ReplayOptions& opts,
                              EngineObserver* observer) {
-  std::vector<PathSet> batches;
-  batches.reserve(schedule.num_cycles());
-  for (const MessageSet& cycle : schedule.cycles) {
-    batches.push_back(fat_tree_path_set(topo, cycle));
-  }
-
   EngineOptions eopts;
   eopts.contention = ContentionPolicy::Tally;
   eopts.parallel = opts.parallel;
@@ -66,7 +84,8 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
 
   CycleEngine engine(fat_tree_channel_graph(topo, caps), eopts);
   ViolationCounter counter(observer);
-  const EngineResult er = engine.run_batched(batches, &counter);
+  ScheduleBatchSource source(topo, schedule);
+  const EngineResult er = engine.run_batched_stream(source, &counter);
 
   ReplayResult result;
   result.cycles = er.cycles;

@@ -34,7 +34,7 @@ struct ReplayOptions {
 };
 
 struct ReplayResult {
-  std::uint32_t cycles = 0;     ///< == schedule.num_cycles() if fault-free
+  std::uint64_t cycles = 0;     ///< == schedule.num_cycles() if fault-free
   std::uint64_t delivered = 0;  ///< == schedule.total_messages()
   /// Channel-cycles where the scheduled load exceeded capacity. Zero iff
   /// every scheduled cycle is a one-cycle message set.

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/message.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
 #include "util/prng.hpp"
 
 namespace ft {
@@ -79,5 +81,129 @@ struct NamedWorkload {
   MessageSet messages;
 };
 std::vector<NamedWorkload> standard_workloads(std::uint32_t n, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Streaming workloads. A MessageStream hands out messages one at a time,
+// so a million-leaf workload is generated on demand and never exists as a
+// materialized MessageSet (8 MiB at n = 2^20, and growing linearly). The
+// path-source adapters (engine/fat_tree_model.hpp) turn a stream into
+// chunked engine input; see DESIGN.md "Scale-out".
+
+class MessageStream {
+ public:
+  virtual ~MessageStream() = default;
+
+  /// Writes the next message into `out`; returns false when exhausted.
+  /// Streams are single-pass.
+  virtual bool next(Message& out) = 0;
+};
+
+/// Adapts a materialized MessageSet to the streaming interface (parity
+/// tests, small workloads riding the streaming code path).
+class MessageSetStream final : public MessageStream {
+ public:
+  explicit MessageSetStream(const MessageSet& messages)
+      : messages_(messages) {}
+
+  bool next(Message& out) override {
+    if (next_ >= messages_.size()) return false;
+    out = messages_[next_++];
+    return true;
+  }
+
+ private:
+  const MessageSet& messages_;
+  std::size_t next_ = 0;
+};
+
+/// Closed-form permutation stream: destination is a pure function of the
+/// source, so the whole workload is O(1) state at any n. The formulas
+/// match the materialized generators above element for element.
+class FormulaStream final : public MessageStream {
+ public:
+  using Fn = Leaf (*)(std::uint32_t n, Leaf p);
+
+  FormulaStream(std::uint32_t n, Fn fn) : n_(n), fn_(fn) {}
+
+  bool next(Message& out) override {
+    if (p_ >= n_) return false;
+    out = {p_, fn_(n_, p_)};
+    ++p_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  Fn fn_;
+  Leaf p_ = 0;
+};
+
+/// Destination formulas for FormulaStream, mirroring the materialized
+/// generators of the same name.
+inline Leaf bit_reversal_dest(std::uint32_t n, Leaf p) {
+  return static_cast<Leaf>(reverse_bits(p, floor_log2(n)));
+}
+inline Leaf complement_dest(std::uint32_t n, Leaf p) { return (n - 1) ^ p; }
+inline Leaf tornado_dest(std::uint32_t n, Leaf p) {
+  return (p + n / 2 - 1) % n;
+}
+inline Leaf shuffle_dest(std::uint32_t n, Leaf p) {
+  const std::uint32_t bits = floor_log2(n);
+  return ((p << 1) | (p >> (bits - 1))) & (n - 1);
+}
+inline Leaf transpose_dest(std::uint32_t n, Leaf p) {
+  const std::uint32_t bits = floor_log2(n);
+  const std::uint32_t half = bits / 2;
+  const std::uint32_t lo = p & ((1u << half) - 1);
+  return (lo << (bits - half)) | (p >> half);
+}
+
+/// Random permutation in streaming form: only the 4n-byte destination
+/// table is materialized (the λ ≈ 1 workload of the scale-out benchmark).
+/// Consumes the same rng.permutation(n) draw as
+/// random_permutation_traffic, so the two agree for a shared generator
+/// state.
+class RandomPermutationStream final : public MessageStream {
+ public:
+  RandomPermutationStream(std::uint32_t n, Rng& rng)
+      : perm_(rng.permutation(n)) {}
+
+  bool next(Message& out) override {
+    if (p_ >= perm_.size()) return false;
+    out = {p_, perm_[p_]};
+    ++p_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> perm_;
+  Leaf p_ = 0;
+};
+
+/// `count` messages with independently uniform endpoints, O(1) state. The
+/// Rng is taken by value: the stream owns its draw sequence, so reruns
+/// from the same seed are identical.
+class UniformRandomStream final : public MessageStream {
+ public:
+  UniformRandomStream(std::uint32_t n, std::uint64_t count, Rng rng)
+      : n_(n), count_(count), rng_(rng) {
+    FT_CHECK(n > 0);
+  }
+
+  bool next(Message& out) override {
+    if (i_ >= count_) return false;
+    const auto src = static_cast<Leaf>(rng_.below(n_));
+    const auto dst = static_cast<Leaf>(rng_.below(n_));
+    out = {src, dst};
+    ++i_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t count_;
+  Rng rng_;
+  std::uint64_t i_ = 0;
+};
 
 }  // namespace ft

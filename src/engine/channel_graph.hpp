@@ -50,6 +50,30 @@ class PathSet {
     offsets_.push_back(static_cast<std::uint32_t>(channels_.size()));
   }
 
+  /// Drops every path but keeps the capacity: the chunk-reuse primitive of
+  /// the streaming interface (engine/message_source.hpp) — a MessageSource
+  /// refills one PathSet per chunk, so a whole run allocates O(chunk), not
+  /// O(total messages).
+  void clear() {
+    offsets_.resize(1);
+    channels_.clear();
+  }
+
+  /// Appends every path of `other`, rebasing its offsets onto this set.
+  void append_set(const PathSet& other) {
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(channels_.size()) + other.channels_.size();
+    FT_CHECK_MSG(total < 0xffffffffULL,
+                 "PathSet overflows 32-bit hop offsets");
+    const auto base = static_cast<std::uint32_t>(channels_.size());
+    channels_.insert(channels_.end(), other.channels_.begin(),
+                     other.channels_.end());
+    offsets_.reserve(offsets_.size() + other.size());
+    for (std::size_t p = 0; p < other.size(); ++p) {
+      offsets_.push_back(base + other.offsets_[p + 1]);
+    }
+  }
+
   /// One-shot conversion from any container of vector-like paths
   /// (std::vector<EnginePath>, std::vector<Route>, std::vector<KaryRoute>).
   template <typename Paths>
@@ -104,6 +128,22 @@ struct ChannelGraph {
 
   std::uint32_t num_stages = 1;
   std::uint32_t num_levels = 1;
+
+  /// Subtree-shard partition for the parallel lossy engine (empty when the
+  /// builder did not request sharding). shard[c] names the partition that
+  /// owns channel c, or kNoShard for "spine" channels above the shard
+  /// roots, whose arbitration crosses shards and runs serially. The stage
+  /// axis splits into three bands: stages [0, spine_stage_lo) touch only
+  /// sharded channels on the way up, [spine_stage_lo, spine_stage_hi) is
+  /// the spine, and [spine_stage_hi, num_stages) only sharded channels on
+  /// the way down. A message's shard can change at most once, inside the
+  /// spine band — the invariant the sharded executor relies on (see
+  /// DESIGN.md "Scale-out").
+  std::vector<std::uint32_t> shard;
+  std::uint32_t num_shards = 0;
+  std::uint32_t spine_stage_lo = 0;
+  std::uint32_t spine_stage_hi = 0;
+  static constexpr std::uint32_t kNoShard = 0xffffffffu;
 
   std::size_t num_channels() const { return capacity.size(); }
 

@@ -92,6 +92,99 @@ inline std::uint32_t entry_chan(std::uint64_t e) {
 
 }  // namespace
 
+/// See the declaration in engine.hpp. The cycle loop calls next(cycle)
+/// repeatedly within one cycle until it returns nullptr, consuming each
+/// returned batch before the following call (so feeds may reuse one
+/// buffer). exhausted() must be accurate by the end of the cycle that
+/// injected the last batch: the loop's termination test reads it, and a
+/// late flip would cost a spurious empty cycle that the materialized
+/// engine would not run.
+class BatchFeed {
+ public:
+  virtual ~BatchFeed() = default;
+  virtual const PathSet* next(std::uint32_t cycle) = 0;
+  virtual bool exhausted() const = 0;
+};
+
+namespace {
+
+/// Materialized batches: batch i is injected at cycle i + 1, one per
+/// cycle (the run() / run_batched() entry points).
+class VectorFeed final : public BatchFeed {
+ public:
+  VectorFeed(const PathSet* const* batches, std::size_t count)
+      : batches_(batches), count_(count) {}
+
+  const PathSet* next(std::uint32_t cycle) override {
+    if (next_ >= count_ || cycle == last_cycle_) return nullptr;
+    last_cycle_ = cycle;
+    return batches_[next_++];
+  }
+  bool exhausted() const override { return next_ >= count_; }
+
+ private:
+  const PathSet* const* batches_;
+  std::size_t count_;
+  std::size_t next_ = 0;
+  std::uint32_t last_cycle_ = 0;
+};
+
+/// Streams every chunk of a MessageSource into cycle 1 (run_stream). One
+/// PathSet buffer is refilled in place between next() calls; the first
+/// chunk is prefetched so an empty source is exhausted before the cycle
+/// loop starts (cycles == 0, matching run() on an empty set).
+class StreamAllFeed final : public BatchFeed {
+ public:
+  explicit StreamAllFeed(MessageSource& source) : source_(source) {
+    pending_ = source_.next_chunk(chunk_);
+  }
+
+  const PathSet* next(std::uint32_t cycle) override {
+    if (cycle != 1 || !pending_) return nullptr;
+    if (!served_first_) {
+      served_first_ = true;
+      return &chunk_;
+    }
+    pending_ = source_.next_chunk(chunk_);
+    return pending_ ? &chunk_ : nullptr;
+  }
+  bool exhausted() const override { return !pending_; }
+
+ private:
+  MessageSource& source_;
+  PathSet chunk_;
+  bool pending_ = false;
+  bool served_first_ = false;
+};
+
+/// Streams one chunk per cycle (run_batched_stream). The following chunk
+/// is prefetched as the current one is served, so exhausted() flips in
+/// the same cycle the last chunk is injected.
+class StreamBatchFeed final : public BatchFeed {
+ public:
+  explicit StreamBatchFeed(MessageSource& source) : source_(source) {
+    pending_ = source_.next_chunk(cur_);
+  }
+
+  const PathSet* next(std::uint32_t cycle) override {
+    if (!pending_ || cycle == last_cycle_) return nullptr;
+    last_cycle_ = cycle;
+    std::swap(cur_, serve_);
+    pending_ = source_.next_chunk(cur_);
+    return &serve_;
+  }
+  bool exhausted() const override { return !pending_; }
+
+ private:
+  MessageSource& source_;
+  PathSet cur_;    ///< prefetched, served next
+  PathSet serve_;  ///< being consumed by the engine
+  bool pending_ = false;
+  std::uint32_t last_cycle_ = 0;
+};
+
+}  // namespace
+
 CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
     : graph_(std::move(graph)), opts_(opts) {
   FT_CHECK_MSG(opts_.alpha > 0.0, "alpha must be positive");
@@ -138,6 +231,35 @@ CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
   if (opts_.parallel) {
     pool_ = std::make_unique<ThreadPool>(opts_.threads);
   }
+  // Subtree sharding is an execution strategy for the lossy/tally cycle
+  // loop only; FIFO mode has its own channel-range parallelism.
+  sharded_ = opts_.parallel && graph_.num_shards > 1 &&
+             opts_.contention != ContentionPolicy::Fifo;
+  if (sharded_) {
+    FT_CHECK_MSG(graph_.shard.size() == num_channels,
+                 "shard table must cover every channel");
+    FT_CHECK_MSG(graph_.spine_stage_lo <= graph_.spine_stage_hi &&
+                     graph_.spine_stage_hi <= graph_.num_stages,
+                 "spine stage band out of range");
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      if (graph_.capacity[c] == 0) continue;
+      const std::uint32_t sh = graph_.shard[c];
+      if (sh == ChannelGraph::kNoShard) {
+        const bool in_spine = graph_.stage[c] >= graph_.spine_stage_lo &&
+                              graph_.stage[c] < graph_.spine_stage_hi;
+        if (!in_spine) {
+          // A channel outside both the shard partition and the spine band
+          // (the fat-tree root's external-interface pair) has no home in
+          // the sharded executor. No internal path uses such channels;
+          // poisoning the validation table turns any path that tries into
+          // an injection-time abort instead of silent corruption.
+          check_tbl_[c] = 0;
+        }
+      } else {
+        FT_CHECK_MSG(sh < graph_.num_shards, "shard id out of range");
+      }
+    }
+  }
 }
 
 template <typename ChanT>
@@ -156,12 +278,37 @@ EngineResult CycleEngine::run(const PathSet& paths, EngineObserver* observer) {
     return run_fifo(paths, observer);
   }
   if (paths.empty()) return {};
-  return run_lossy({&paths}, observer);
+  const PathSet* one = &paths;
+  VectorFeed feed(&one, 1);
+  return run_lossy(feed, observer);
 }
 
 EngineResult CycleEngine::run(const std::vector<EnginePath>& paths,
                               EngineObserver* observer) {
   return run(PathSet::from_paths(paths), observer);
+}
+
+EngineResult CycleEngine::run_stream(MessageSource& source,
+                                     EngineObserver* observer) {
+  if (opts_.contention == ContentionPolicy::Fifo) {
+    // FIFO rounds seed every queue before round 1, so the whole set must
+    // exist at once; ingesting the stream into CSR form still beats a
+    // vector-of-vectors route list by ~6x in bytes per hop.
+    PathSet all;
+    PathSet chunk;
+    while (source.next_chunk(chunk)) all.append_set(chunk);
+    return run_fifo(all, observer);
+  }
+  StreamAllFeed feed(source);
+  return run_lossy(feed, observer);
+}
+
+EngineResult CycleEngine::run_batched_stream(MessageSource& source,
+                                             EngineObserver* observer) {
+  FT_CHECK_MSG(opts_.contention != ContentionPolicy::Fifo,
+               "batched injection requires a lossy or tally policy");
+  StreamBatchFeed feed(source);
+  return run_lossy(feed, observer);
 }
 
 EngineResult CycleEngine::run_batched(const std::vector<PathSet>& batches,
@@ -171,7 +318,8 @@ EngineResult CycleEngine::run_batched(const std::vector<PathSet>& batches,
   std::vector<const PathSet*> ptrs;
   ptrs.reserve(batches.size());
   for (const PathSet& b : batches) ptrs.push_back(&b);
-  return run_lossy(ptrs, observer);
+  VectorFeed feed(ptrs.data(), ptrs.size());
+  return run_lossy(feed, observer);
 }
 
 EngineResult CycleEngine::run_batched(
@@ -239,6 +387,11 @@ void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
 }
 
 template <typename ChanT>
+#if defined(__GNUC__) && !defined(__clang__)
+// Same unit-growth inlining rationale as run_stage_serial below: the
+// forward pass pushes one worklist entry per surviving hop.
+__attribute__((flatten))
+#endif
 void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
                                      std::uint32_t stage,
                                      std::uint64_t& cycle_losses,
@@ -324,15 +477,127 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
   stage_list_[stage].clear();
 }
 
-/// The serial hot path fuses bucket building, arbitration, accounting and
-/// survivor forwarding into two sweeps of the worklist. Only over-limit
-/// (contended) buckets are materialized in arena_; everyone else advances
-/// and forwards in place during the fill sweep, because an uncontended
-/// channel admits its whole bucket no matter the order. The outcome is
-/// bit-identical to run_stage_parallel: contended buckets still sort to
+/// The per-shard stage sweep: bucket building, arbitration, accounting
+/// and survivor forwarding fused into two sweeps of one worklist, over
+/// caller-owned scratch (a shard's arena/over/sort bits). Only over-limit
+/// (contended) buckets are materialized in the arena; everyone else
+/// advances and forwards in place during the fill sweep, because an
+/// uncontended channel admits its whole bucket no matter the order. The
+/// outcome is bit-identical to run_stage_serial — which is the same
+/// algorithm with the global-worklist forward rule written inline (see
+/// the aliasing note above it for why the serial hot path does not route
+/// through this function) — because contended buckets still sort to
 /// pending order before the pinned lottery, and worklist order is
 /// unobservable (see the stage_list_ comment).
+template <typename ChanT, typename Forward>
+void CycleEngine::fused_stage(const ChanT* chan, std::uint32_t cycle,
+                              std::vector<std::uint64_t>& list,
+                              std::vector<std::uint32_t>& touched,
+                              std::vector<std::uint32_t>& arena,
+                              std::vector<OverBucket>& over,
+                              std::vector<std::uint64_t>& sort_bits,
+                              std::uint64_t& cycle_losses,
+                              std::uint64_t& cycle_hops, Forward&& forward) {
+  // bucket_pos_ sentinel for channels that stay under their limit; arena
+  // fill cursors never reach it (PathSet caps hop offsets below 2^32 - 1).
+  constexpr std::uint32_t kUncontended = 0xffffffffu;
+  // The sweeps below hoist every member array into a local: the worklist
+  // push_backs can allocate, and past any opaque call the compiler must
+  // reload member-reachable pointers — locals stay in registers. None of
+  // the hoisted buffers reallocates during the stage (the arena is sized
+  // before the sweep; a forward to stage s' != stage moves only that
+  // inner vector's storage, not the outer arrays).
+  std::uint32_t* const bp = bucket_pos_.data();
+  const std::uint32_t* const lim = active_limit_;
+  over.clear();
+  std::uint32_t total = 0;
+  for (const std::uint32_t c : touched) {
+    const std::uint32_t count = bp[c];
+    if (count > lim[c]) {
+      over.push_back({c, total, count});
+      bp[c] = total;  // fill cursor for the sweep below
+      total += count;
+    } else {
+      if (want_carried_) carried_[c] = count;
+      cycle_hops += count;
+      bp[c] = kUncontended;
+    }
+  }
+  arena.resize(total);
+  std::uint64_t* const ce = ce_.data();
+  std::uint32_t* const ar = arena.data();
+  for (const std::uint64_t e : list) {
+    const std::uint32_t c = entry_chan(e);
+    const std::uint32_t i = entry_msg(e);
+    const std::uint32_t pos = bp[c];
+    if (pos == kUncontended) {
+      const std::uint64_t v = ++ce[i];
+      if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+        forward(i, static_cast<std::uint32_t>(
+                       chan[static_cast<std::uint32_t>(v)]));
+      }
+    } else {
+      ar[pos] = i;
+      bp[c] = pos + 1;
+    }
+  }
+  std::uint64_t* const bits = sort_bits.data();
+  for (const OverBucket& ob : over) {
+    std::uint32_t* b = ar + ob.off;
+    const std::uint64_t limit = lim[ob.chan];
+    // Restore ascending pending order for the pinned lottery, then the
+    // truncated Fisher–Yates finalizes the loser block (see
+    // arbitrate_bucket for the full argument).
+    if (ob.count > 64) {
+      sort_by_bitmap(bits, b, ob.count);
+    } else {
+      sort_small(b, ob.count);
+    }
+    Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
+    for (std::size_t i = ob.count; i > limit; --i) {
+      const std::size_t j = arb.below(i);
+      std::swap(b[i - 1], b[j]);
+    }
+    // Losers need no kill flag: their cursor stops here, short of end, and
+    // everything downstream (compaction, tracing) reads the delivered
+    // state straight off the packed word (cursor == end). Only the
+    // parallel path keeps alive_, whose forward pass must skip the
+    // lottery's losers without re-deriving their stage.
+    for (std::size_t k = 0; k < limit; ++k) {
+      const std::uint64_t v = ++ce[b[k]];
+      if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+        forward(b[k], static_cast<std::uint32_t>(
+                          chan[static_cast<std::uint32_t>(v)]));
+      }
+    }
+    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(limit);
+    cycle_hops += limit;
+    cycle_losses += ob.count - limit;
+  }
+  for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
+  touched.clear();
+  list.clear();
+}
+
+/// Deliberate twin of fused_stage with the global-worklist forward rule
+/// written inline. Routing the serial sweep through fused_stage plus a
+/// forward closure re-hoists the same pointers in two scopes, and the
+/// resulting aliasing ambiguity costs ~15% of serial lossy throughput
+/// even with everything force-inlined (measured on the bench_micro
+/// engine sweep). The two copies are kept equivalent by the sharded
+/// parity tests (test_scaleout), which compare this path against the
+/// fused_stage-based executor bit for bit.
 template <typename ChanT>
+#if defined(__GNUC__) && !defined(__clang__)
+// The sharded-executor instantiations grew this translation unit past
+// GCC's unit-growth inlining budget, at which point the inliner started
+// leaving the push_back fast paths in the sweeps below as out-of-line
+// calls — one call per forwarded hop, ~20% of serial lossy throughput
+// (verified with gprof: tens of millions of vector::push_back
+// invocations that the smaller pre-sharding unit inlined). flatten
+// forces full inlining of this body regardless of the unit budget.
+__attribute__((flatten))
+#endif
 void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
                                    std::uint32_t stage,
                                    std::uint64_t& cycle_losses,
@@ -427,18 +692,164 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
   list.clear();
 }
 
-EngineResult CycleEngine::run_lossy(const std::vector<const PathSet*>& batches,
-                                    EngineObserver* observer) {
-  if (narrow_) {
-    return run_lossy_t<std::uint16_t>(chan_buf16_, batches, observer);
+/// One cycle's stage sweep, subtree-sharded. Shards run the fused serial
+/// algorithm over their private worklists — the up band [0, spine_lo) and
+/// the down band [spine_hi, num_stages) in parallel, with the serial
+/// coordination steps (outbox distribution, spine arbitration, spine
+/// fan-out) between them. Bit-identity with the serial sweep follows from
+/// channel disjointness: every channel's contender set is assembled from
+/// the same messages, restored to ascending pending order before its
+/// pinned (seed, cycle, channel) lottery, and under-limit buckets admit
+/// everyone regardless of order.
+template <typename ChanT>
+#if defined(__GNUC__) && !defined(__clang__)
+// Same unit-growth inlining rationale as run_stage_serial: the per-shard
+// fused sweeps (always_inline'd fused_stage plus its forward closures)
+// must keep their push_back fast paths inline.
+__attribute__((flatten))
+#endif
+void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
+                                    std::uint64_t& cycle_losses,
+                                    std::uint64_t& cycle_hops) {
+  const std::uint32_t spine_lo = graph_.spine_stage_lo;
+  const std::uint32_t spine_hi = graph_.spine_stage_hi;
+  const std::uint32_t num_stages = graph_.num_stages;
+  const std::uint32_t* const shard_tbl = graph_.shard.data();
+  const auto* const stg = stage_table<ChanT>();
+  const std::size_t num_shards = shards_.size();
+
+  // Each shard's bitmap-sort scratch must span every live message index
+  // (the arena holds global indices); new words join zeroed and stay
+  // zeroed between uses.
+  const std::size_t words = (ce_.size() + 63) / 64;
+  for (ShardState& st : shards_) {
+    if (st.sort_bits.size() < words) st.sort_bits.resize(words, 0);
   }
-  return run_lossy_t<std::uint32_t>(chan_buf_, batches, observer);
+
+  // A shard's stage band: the fused algorithm on its own scratch. The
+  // forward rule is the shard invariant in code — below the spine a
+  // survivor's next channel is always ours; at or above it, anything not
+  // ours (spine channels, another shard's down channels) leaves through
+  // the outbox for the serial distribution step.
+  auto run_band = [&](ShardState& st, std::uint32_t my_shard,
+                      std::uint32_t s_begin, std::uint32_t s_end) {
+    std::uint32_t* const bp = bucket_pos_.data();
+    auto* const lst = st.stage_list.data();
+    auto* const touch = st.stage_touched.data();
+    for (std::uint32_t s = s_begin; s < s_end; ++s) {
+      if (lst[s].empty()) continue;
+      fused_stage(chan, cycle, lst[s], touch[s], st.arena, st.over,
+                  st.sort_bits, st.losses, st.hops,
+                  [&](std::uint32_t i, std::uint32_t nc) {
+                    const std::uint32_t ns = stg[nc];
+                    if (ns < spine_lo || shard_tbl[nc] == my_shard) {
+                      if (bp[nc]++ == 0) touch[ns].push_back(nc);
+                      lst[ns].push_back(pack_entry(i, nc));
+                    } else {
+                      st.outbox.push_back(pack_entry(i, nc));
+                    }
+                  });
+    }
+  };
+
+  auto band_entries = [&](std::uint32_t s_begin, std::uint32_t s_end) {
+    std::size_t entries = 0;
+    for (const ShardState& st : shards_) {
+      for (std::uint32_t s = s_begin; s < s_end; ++s) {
+        entries += st.stage_list[s].size();
+      }
+    }
+    return entries;
+  };
+
+  // Small cycles run the shard loop inline — same structure, same
+  // results, no pool wakeup (late cycles shrink below the threshold as
+  // messages deliver).
+  const bool pooled = pool_ != nullptr && pool_->size() > 1;
+  auto dispatch = [&](std::uint32_t s_begin, std::uint32_t s_end) {
+    if (pooled && num_shards >= 2 &&
+        band_entries(s_begin, s_end) >= kMinParallelWork) {
+      pool_->run_tasks(num_shards, [&](std::size_t sh) {
+        run_band(shards_[sh], static_cast<std::uint32_t>(sh), s_begin, s_end);
+      });
+    } else {
+      for (std::size_t sh = 0; sh < num_shards; ++sh) {
+        run_band(shards_[sh], static_cast<std::uint32_t>(sh), s_begin, s_end);
+      }
+    }
+  };
+
+  // Up phase: shard-parallel.
+  dispatch(0, spine_lo);
+
+  // Outbox distribution, serial: route each crossing survivor to the
+  // global spine worklists or its destination shard's down worklists,
+  // counting it into the target bucket as it lands.
+  for (ShardState& st : shards_) {
+    for (const std::uint64_t e : st.outbox) {
+      const std::uint32_t nc = entry_chan(e);
+      const std::uint32_t ns = stg[nc];
+      const std::uint32_t sh = shard_tbl[nc];
+      if (sh == ChannelGraph::kNoShard) {
+        if (bucket_pos_[nc]++ == 0) stage_touched_[ns].push_back(nc);
+        stage_list_[ns].push_back(e);
+      } else {
+        ShardState& tgt = shards_[sh];
+        if (bucket_pos_[nc]++ == 0) tgt.stage_touched[ns].push_back(nc);
+        tgt.stage_list[ns].push_back(e);
+      }
+    }
+    st.outbox.clear();
+  }
+
+  // Spine stages, serial on the global worklists: the only arbitration
+  // that crosses shards. Empty when the shard roots sit directly under
+  // the fat-tree root (shard level 1).
+  for (std::uint32_t s = spine_lo; s < spine_hi; ++s) {
+    if (stage_list_[s].empty()) continue;
+    run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+  }
+
+  // Spine fan-out: survivors the spine forwarded into global down-stage
+  // lists move to their owning shards. Their buckets were already counted
+  // when forwarded; only the list entries and touched records relocate.
+  for (std::uint32_t s = spine_hi; s < num_stages; ++s) {
+    std::vector<std::uint64_t>& list = stage_list_[s];
+    std::vector<std::uint32_t>& touched = stage_touched_[s];
+    if (list.empty() && touched.empty()) continue;
+    for (const std::uint32_t c : touched) {
+      shards_[shard_tbl[c]].stage_touched[s].push_back(c);
+    }
+    touched.clear();
+    for (const std::uint64_t e : list) {
+      shards_[shard_tbl[entry_chan(e)]].stage_list[s].push_back(e);
+    }
+    list.clear();
+  }
+
+  // Down phase: shard-parallel; descent never leaves the subtree, so no
+  // outbox entries can appear.
+  dispatch(spine_hi, num_stages);
+
+  for (ShardState& st : shards_) {
+    cycle_losses += st.losses;
+    cycle_hops += st.hops;
+    st.losses = 0;
+    st.hops = 0;
+  }
+}
+
+EngineResult CycleEngine::run_lossy(BatchFeed& feed, EngineObserver* observer) {
+  if (narrow_) {
+    return run_lossy_t<std::uint16_t>(chan_buf16_, feed, observer);
+  }
+  return run_lossy_t<std::uint32_t>(chan_buf_, feed, observer);
 }
 
 template <typename ChanT>
-EngineResult CycleEngine::run_lossy_t(
-    std::vector<ChanT>& chan_buf, const std::vector<const PathSet*>& batches,
-    EngineObserver* observer) {
+EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
+                                      BatchFeed& feed,
+                                      EngineObserver* observer) {
   EngineResult result;
   const std::size_t num_channels = graph_.num_channels();
   want_carried_ = observer != nullptr;
@@ -448,6 +859,18 @@ EngineResult CycleEngine::run_lossy_t(
   for (auto& list : stage_list_) list.clear();
   stage_touched_.resize(graph_.num_stages);
   for (auto& t : stage_touched_) t.clear();
+  if (sharded_) {
+    shards_.resize(graph_.num_shards);
+    for (ShardState& st : shards_) {
+      st.stage_list.resize(graph_.num_stages);
+      for (auto& list : st.stage_list) list.clear();
+      st.stage_touched.resize(graph_.num_stages);
+      for (auto& t : st.stage_touched) t.clear();
+      st.outbox.clear();
+      st.losses = 0;
+      st.hops = 0;
+    }
+  }
   chan_buf.clear();
   ce_.clear();
   begin_.clear();
@@ -462,6 +885,41 @@ EngineResult CycleEngine::run_lossy_t(
   std::uint32_t next_id = 0;
   const auto* const stg = stage_table<ChanT>();
 
+  // Routes one worklist seed (injection or retry rewind) to the owning
+  // shard's lists in sharded mode, or the global lists otherwise. The
+  // shard-table read is skipped entirely on the classic path. The global
+  // pointers are captured by value: the outer arrays were sized above and
+  // never move again this run, and value captures keep the per-message
+  // path in registers across the opaque push_back calls (a reference
+  // capture of `this` would force member reloads on every seed — the
+  // same hoisting rule as the fused stage sweeps).
+  const std::uint32_t* const shard_tbl =
+      sharded_ ? graph_.shard.data() : nullptr;
+  auto seed_entry = [this, shard_tbl, g_bp = bucket_pos_.data(),
+                     g_lst = stage_list_.data(),
+                     g_touch = stage_touched_.data()](
+                        std::uint32_t idx, std::uint32_t fc,
+                        std::uint32_t fs)
+  // Forced inline for the same reason as fused_stage: the surrounding
+  // function is big enough that the inliner otherwise leaves this as an
+  // out-of-line call on every injected/retried message.
+#if defined(__GNUC__) || defined(__clang__)
+                        __attribute__((always_inline))
+#endif
+  {
+    auto* lst = g_lst;
+    auto* touch = g_touch;
+    if (shard_tbl != nullptr) {
+      const std::uint32_t sh = shard_tbl[fc];
+      if (sh != ChannelGraph::kNoShard) {
+        lst = shards_[sh].stage_list.data();
+        touch = shards_[sh].stage_touched.data();
+      }
+    }
+    if (g_bp[fc]++ == 0) touch[fs].push_back(fc);
+    lst[fs].push_back(pack_entry(idx, fc));
+  };
+
   // Retry policy and fault plan are sampled once per run; with both off
   // every loop below is the classic hot path (active_limit_ == limit_).
   const RetryPolicy& retry = opts_.retry;
@@ -475,9 +933,14 @@ EngineResult CycleEngine::run_lossy_t(
   // no retry policy parks anyone.
   std::uint64_t contenders = 0;
 
-  std::size_t next_batch = 0;
-  while (next_batch < batches.size() || !ce_.empty()) {
-    const std::uint32_t cycle = result.cycles + 1;
+  while (!feed.exhausted() || !ce_.empty()) {
+    // The arbitration stream folds the cycle index into 32 bits of the
+    // seed; widening it would change every golden, so the engine gives up
+    // loudly at the domain edge instead (EngineResult::cycles itself is
+    // 64-bit and never wraps).
+    FT_CHECK_MSG(result.cycles < 0xffffffffULL,
+                 "cycle index overflows the 32-bit arbitration-seed domain");
+    const auto cycle = static_cast<std::uint32_t>(result.cycles + 1);
     std::uint32_t delivered_now = 0;
     std::uint32_t backoffs_now = 0;
     std::uint32_t gave_up_now = 0;
@@ -504,14 +967,26 @@ EngineResult CycleEngine::run_lossy_t(
         }
       }
     }
-    if (next_batch < batches.size()) {
-      const PathSet& batch = *batches[next_batch];
+    while (const PathSet* batch_ptr = feed.next(cycle)) {
+      const PathSet& batch = *batch_ptr;
       const std::uint32_t* chans = batch.channels().data();
       // One streaming copy of the batch's hop buffer into the engine's
       // (possibly narrowed) buffer; message slices keep their offsets
-      // relative to base, so path layout is untouched.
-      const auto base = static_cast<std::uint32_t>(chan_buf.size());
+      // relative to base, so path layout is untouched. Streamed sources
+      // can concatenate past the single-PathSet bound, so the combined
+      // buffer re-proves the 32-bit offset and message-index invariants
+      // every batch (the narrowing helper aborts on the first workload
+      // that genuinely outgrows the index discipline).
+      const std::uint32_t base =
+          checked_u32(chan_buf.size(), "injected hop buffer overflows "
+                                       "32-bit offsets");
       const std::size_t hops = batch.channels().size();
+      FT_CHECK_MSG(base + static_cast<std::uint64_t>(hops) < 0xffffffffULL,
+                   "injected hop buffer overflows 32-bit offsets");
+      FT_CHECK_MSG(ce_.size() + batch.size() < 0xffffffffULL &&
+                       next_id + static_cast<std::uint64_t>(batch.size()) <
+                           0xffffffffULL,
+                   "live message count overflows 32-bit message indices");
       chan_buf.resize(base + hops);
       ChanT* dst = chan_buf.data() + base;
       for (std::size_t h = 0; h < hops; ++h) {
@@ -555,15 +1030,13 @@ EngineResult CycleEngine::run_lossy_t(
             wake_.push_back(cycle);
           }
           ++contenders;
-          if (bucket_pos_[fc]++ == 0) stage_touched_[fs].push_back(fc);
-          stage_list_[fs].push_back(pack_entry(idx, fc));
+          seed_entry(idx, fc, fs);
           if (trace) {
             observer->on_message_event(
                 {MessageEventKind::Inject, id, cycle, fc});
           }
         }
       }
-      ++next_batch;
     }
     const std::size_t pending_before = ce_.size();
     // Messages parked in backoff are alive but do not contend; without a
@@ -592,17 +1065,23 @@ EngineResult CycleEngine::run_lossy_t(
     // count equals its worklist length, so the serial/parallel split is
     // decided before any bucket is built.
     const bool pooled = pool_ != nullptr && pool_->size() > 1;
-    if (pooled) alive_.assign(pending_before, 1);
+    // The sharded sweep runs the fused (kill-flag-free) algorithm on
+    // every shard, so alive_ stays untouched there.
+    if (pooled && !sharded_) alive_.assign(pending_before, 1);
     if (want_carried_) std::fill(carried_.begin(), carried_.end(), 0);
     const ChanT* chan = chan_buf.data();
     std::uint64_t cycle_losses = 0;
     std::uint64_t cycle_hops = 0;
-    for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
-      if (stage_list_[s].empty()) continue;
-      if (pooled && stage_list_[s].size() >= kMinParallelWork) {
-        run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
-      } else {
-        run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+    if (sharded_) {
+      run_cycle_sharded(chan, cycle, cycle_losses, cycle_hops);
+    } else {
+      for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
+        if (stage_list_[s].empty()) continue;
+        if (pooled && stage_list_[s].size() >= kMinParallelWork) {
+          run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
+        } else {
+          run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+        }
       }
     }
 
@@ -636,9 +1115,6 @@ EngineResult CycleEngine::run_lossy_t(
       std::uint32_t* const bg = begin_.data();
       std::uint32_t* const ids = id_.data();
       std::uint32_t* const fcs = first_chan_.data();
-      std::uint32_t* const bp = bucket_pos_.data();
-      auto* const lst = stage_list_.data();
-      auto* const touch = stage_touched_.data();
       if (!retry_on) {
         for (std::size_t i = 0; i < pending; ++i) {
           const std::uint64_t v = ce[i];
@@ -654,9 +1130,7 @@ EngineResult CycleEngine::run_lossy_t(
             bg[kept] = b;
             if (trace) ids[kept] = ids[i];  // ids are only read when tracing
             fcs[kept] = fc;
-            if (bp[fc]++ == 0) touch[fs].push_back(fc);
-            lst[fs].push_back(
-                pack_entry(static_cast<std::uint32_t>(kept), fc));
+            seed_entry(static_cast<std::uint32_t>(kept), fc, fs);
             ++kept;
           }
         }
@@ -720,9 +1194,7 @@ EngineResult CycleEngine::run_lossy_t(
             att[kept] = att[i] + 1;
             wk[kept] = next_wake;
             const std::uint32_t fs = stg[fc];
-            if (bp[fc]++ == 0) touch[fs].push_back(fc);
-            lst[fs].push_back(
-                pack_entry(static_cast<std::uint32_t>(kept), fc));
+            seed_entry(static_cast<std::uint32_t>(kept), fc, fs);
             ++contenders;
           } else {
             att[kept] = att[i];
@@ -772,15 +1244,16 @@ EngineResult CycleEngine::run_lossy_t(
     }
 
     if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
-        (next_batch < batches.size() || !ce_.empty())) {
+        (!feed.exhausted() || !ce_.empty())) {
       result.gave_up = true;
       break;
     }
   }
   if (result.gave_up && trace) {
+    const auto last_cycle = static_cast<std::uint32_t>(result.cycles);
     for (const std::uint32_t id : id_) {
       observer->on_message_event(
-          {MessageEventKind::GiveUp, id, result.cycles, kNoChannel});
+          {MessageEventKind::GiveUp, id, last_cycle, kNoChannel});
     }
   }
   return result;
@@ -897,7 +1370,9 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
   };
 
   while (in_flight > 0) {
-    const std::uint32_t round = result.cycles + 1;
+    FT_CHECK_MSG(result.cycles < 0xffffffffULL,
+                 "round index overflows 32-bit snapshot cycles");
+    const auto round = static_cast<std::uint32_t>(result.cycles + 1);
     const FaultState::CycleFaults* cf = nullptr;
     if (faults) {
       cf = &faults->begin_cycle(round, limit_);
@@ -985,11 +1460,12 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
     }
   }
   if (result.gave_up && trace) {
+    const auto last_round = static_cast<std::uint32_t>(result.cycles);
     for (std::size_t lid = 0; lid < num_channels; ++lid) {
       ChunkedRing& q = queues[lid];
       while (!q.empty()) {
         observer->on_message_event({MessageEventKind::GiveUp, q.pop(),
-                                    result.cycles,
+                                    last_round,
                                     static_cast<std::uint32_t>(lid)});
       }
     }

@@ -31,10 +31,16 @@
 
 #include "engine/channel_graph.hpp"
 #include "engine/fault_plan.hpp"
+#include "engine/message_source.hpp"
 #include "engine/observer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ft {
+
+/// Internal injection schedule abstraction: hands run_lossy the next batch
+/// to inject, one cycle at a time (defined in engine.cpp; implementations
+/// wrap a batch vector or a MessageSource).
+class BatchFeed;
 
 enum class ContentionPolicy : std::uint8_t { RandomSubset, Fifo, Tally };
 
@@ -65,7 +71,11 @@ struct EngineOptions {
 };
 
 struct EngineResult {
-  std::uint32_t cycles = 0;  ///< delivery cycles (lossy) or rounds (FIFO)
+  /// Delivery cycles (lossy) or rounds (FIFO). 64-bit: a heavily faulted
+  /// or backoff-parked run at n = 2^20 can legitimately exceed what the
+  /// old 32-bit counter assumed; the engine's internal cycle index stays
+  /// 32-bit (the arbitration-stream domain) and is overflow-checked.
+  std::uint64_t cycles = 0;
   bool gave_up = false;      ///< max_cycles hit with messages undelivered
   std::uint64_t delivered = 0;
   std::uint64_t total_attempts = 0;  ///< path attempts (lossy), hops (FIFO)
@@ -123,6 +133,20 @@ class CycleEngine {
   EngineResult run_batched(const std::vector<std::vector<EnginePath>>& batches,
                            EngineObserver* observer = nullptr);
 
+  /// Streaming run(): consumes the source chunk by chunk, injecting every
+  /// path at cycle 1, bit-identical to run() on the concatenation of all
+  /// chunks — but peak memory is O(chunk) instead of O(total paths) in the
+  /// lossy/tally modes. FIFO mode needs every queue seeded before round 1,
+  /// so it ingests the stream into one PathSet first (still cheaper than a
+  /// vector-of-vectors route list: 4 bytes per hop, two allocations).
+  EngineResult run_stream(MessageSource& source,
+                          EngineObserver* observer = nullptr);
+
+  /// Streaming run_batched(): chunk i is injected at cycle i + 1,
+  /// bit-identical to run_batched() on the materialized chunk vector.
+  EngineResult run_batched_stream(MessageSource& source,
+                                  EngineObserver* observer = nullptr);
+
  private:
   /// One contended (over-limit) bucket in the serial fused stage: channel
   /// plus its [off, off + count) slice of arena_.
@@ -136,6 +160,24 @@ class CycleEngine {
   /// (stage16_ on the narrow path, the graph's table on the wide one).
   /// Hot loops hoist it into a local so worklist reallocations never
   /// force a reload.
+  /// Per-shard execution state for the subtree-sharded parallel mode: a
+  /// shard owns the worklists, arena and sort scratch of every channel the
+  /// graph's shard table assigns to it, so the up- and down-phase sweeps
+  /// of one cycle run shard-parallel with no shared mutable state. The
+  /// outbox collects survivors whose next channel leaves the shard (spine
+  /// channels or another shard's down channels); the coordinating thread
+  /// distributes it between phases.
+  struct ShardState {
+    std::vector<std::vector<std::uint64_t>> stage_list;
+    std::vector<std::vector<std::uint32_t>> stage_touched;
+    std::vector<std::uint32_t> arena;
+    std::vector<OverBucket> over;
+    std::vector<std::uint64_t> sort_bits;
+    std::vector<std::uint64_t> outbox;  ///< packed (msg << 32) | channel
+    std::uint64_t losses = 0;
+    std::uint64_t hops = 0;
+  };
+
   template <typename ChanT>
   const auto* stage_table() const;
   void build_buckets(const std::vector<std::uint64_t>& list,
@@ -146,21 +188,60 @@ class CycleEngine {
   void run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
                           std::uint32_t stage, std::uint64_t& cycle_losses,
                           std::uint64_t& cycle_hops);
+  /// The fused stage algorithm (bucket counting, arbitration, accounting,
+  /// survivor forwarding in two sweeps) over caller-owned scratch — the
+  /// sharded executor's per-shard stage sweep. run_stage_serial is the
+  /// same algorithm with the global forward rule written inline; see the
+  /// comment above it for why the serial hot path keeps its own copy.
+  /// `forward` is invoked as forward(msg, next_channel) for every
+  /// surviving message with hops left and routes it to its next worklist.
+  /// Must inline into its caller: the forward closures capture
+  /// caller-local hoisted pointers by reference, and an out-of-line
+  /// instantiation reads them through the closure on every inner-loop
+  /// iteration (measured ~25% of lossy throughput when the compiler
+  /// declined on size alone).
+  template <typename ChanT, typename Forward>
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline void
+  fused_stage(const ChanT* chan, std::uint32_t cycle,
+                   std::vector<std::uint64_t>& list,
+                   std::vector<std::uint32_t>& touched,
+                   std::vector<std::uint32_t>& arena,
+                   std::vector<OverBucket>& over,
+                   std::vector<std::uint64_t>& sort_bits,
+                   std::uint64_t& cycle_losses, std::uint64_t& cycle_hops,
+                   Forward&& forward);
   template <typename ChanT>
   void run_stage_serial(const ChanT* chan, std::uint32_t cycle,
                         std::uint32_t stage, std::uint64_t& cycle_losses,
                         std::uint64_t& cycle_hops);
-  EngineResult run_lossy(const std::vector<const PathSet*>& batches,
-                         EngineObserver* observer);
+  /// One full cycle's stage sweep in subtree-sharded mode: parallel shard
+  /// up phases, serial outbox distribution + spine stages, parallel shard
+  /// down phases, then a per-shard counter reduction (see DESIGN.md,
+  /// "Scale-out").
   template <typename ChanT>
-  EngineResult run_lossy_t(std::vector<ChanT>& chan_buf,
-                           const std::vector<const PathSet*>& batches,
+  void run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
+                         std::uint64_t& cycle_losses,
+                         std::uint64_t& cycle_hops);
+  EngineResult run_lossy(BatchFeed& feed, EngineObserver* observer);
+  template <typename ChanT>
+  EngineResult run_lossy_t(std::vector<ChanT>& chan_buf, BatchFeed& feed,
                            EngineObserver* observer);
   EngineResult run_fifo(const PathSet& paths, EngineObserver* observer);
 
   ChannelGraph graph_;
   EngineOptions opts_;
   std::unique_ptr<ThreadPool> pool_;  ///< live for the engine's lifetime
+
+  /// Subtree-sharded parallel mode: engaged when the graph carries a
+  /// shard partition, the engine is parallel and the policy is lossy or
+  /// tally. Serial and sharded runs are bit-identical — every channel's
+  /// contender set and pinned (seed, cycle, channel) lottery are the same
+  /// — so this is purely an execution strategy, not a model change.
+  bool sharded_ = false;
+  std::vector<ShardState> shards_;
 
   /// Per-channel admission limit, fixed for the engine's lifetime:
   /// floor(alpha * capacity) floor 1 (RandomSubset), unlimited (Tally),

@@ -16,13 +16,23 @@
 #include "core/capacity.hpp"
 #include "core/message.hpp"
 #include "core/topology.hpp"
+#include "core/traffic.hpp"
 #include "engine/channel_graph.hpp"
 #include "engine/fault_plan.hpp"
+#include "engine/message_source.hpp"
 
 namespace ft {
 
+/// `shard_level` > 0 additionally partitions the graph for the engine's
+/// subtree-sharded parallel mode: the 2^shard_level subtrees rooted at
+/// heap level shard_level become shards owning every channel at or below
+/// their root, and the channels above (levels 1..shard_level-1) form the
+/// serially-arbitrated spine. Must satisfy 1 <= shard_level < height when
+/// nonzero; 0 (the default) attaches no shard metadata, and the engine
+/// behaves exactly as before.
 ChannelGraph fat_tree_channel_graph(const FatTreeTopology& topo,
-                                    const CapacityProfile& caps);
+                                    const CapacityProfile& caps,
+                                    std::uint32_t shard_level = 0);
 
 /// Correlated-failure domain of the subtree rooted at internal node v:
 /// both channels of every node in the subtree, including v's own pair (the
@@ -55,5 +65,34 @@ PathSet fat_tree_path_set(const FatTreeTopology& topo, const MessageSet& m);
 /// fat_tree_path_set for anything hot.
 std::vector<EnginePath> fat_tree_engine_paths(const FatTreeTopology& topo,
                                               const MessageSet& m);
+
+/// Streams fat-tree paths for a MessageStream workload, one chunk at a
+/// time: the full PathSet for an n = 2^20 permutation (~160 MiB of CSR)
+/// never exists; peak input memory is one chunk. Self messages become
+/// empty paths (local delivery), exactly as fat_tree_path_set emits them.
+class FatTreePathSource final : public MessageSource {
+ public:
+  FatTreePathSource(const FatTreeTopology& topo, MessageStream& messages,
+                    std::size_t chunk_paths = kDefaultChunkPaths)
+      : topo_(topo),
+        messages_(messages),
+        chunk_paths_(chunk_paths == 0 ? 1 : chunk_paths) {}
+
+  bool next_chunk(PathSet& chunk) override {
+    chunk.clear();
+    Message m;
+    std::size_t produced = 0;
+    while (produced < chunk_paths_ && messages_.next(m)) {
+      append_fat_tree_path(topo_, m.src, m.dst, chunk);
+      ++produced;
+    }
+    return produced > 0;
+  }
+
+ private:
+  const FatTreeTopology& topo_;
+  MessageStream& messages_;
+  std::size_t chunk_paths_;
+};
 
 }  // namespace ft

@@ -1,0 +1,65 @@
+// Streaming message input for the delivery-cycle engine. A MessageSource
+// hands the engine one PathSet chunk at a time instead of materializing
+// every path for the whole run up front, so peak memory for an n = 2^20
+// workload is O(chunk), not O(n) (see DESIGN.md "Scale-out").
+//
+// Contract: next_chunk() clears `chunk`, refills it with the next batch of
+// paths (at most the source's chunk size) and returns true, or returns
+// false — leaving `chunk` cleared — when the source is exhausted. A source
+// is single-pass: once it returns false it keeps returning false. The
+// engine guarantees the concatenation of all chunks is consumed in order,
+// which is what makes streaming runs bit-identical to materialized ones.
+#pragma once
+
+#include <cstddef>
+
+#include "engine/channel_graph.hpp"
+
+namespace ft {
+
+/// Default number of paths per streamed chunk: large enough to amortize
+/// per-chunk bookkeeping, small enough that a chunk of million-leaf
+/// fat-tree paths stays in the tens of megabytes.
+inline constexpr std::size_t kDefaultChunkPaths = 8192;
+
+class MessageSource {
+ public:
+  virtual ~MessageSource() = default;
+
+  /// Fills `chunk` with the next batch of paths. Returns false (with
+  /// `chunk` empty) when exhausted.
+  virtual bool next_chunk(PathSet& chunk) = 0;
+};
+
+/// Adapts an already-materialized PathSet to the streaming interface by
+/// slicing it into chunks. Used by the parity tests and by callers that
+/// have a small set in hand but want the streaming code path.
+class PathSetSource final : public MessageSource {
+ public:
+  explicit PathSetSource(const PathSet& set,
+                         std::size_t chunk_paths = kDefaultChunkPaths)
+      : set_(set), chunk_paths_(chunk_paths == 0 ? 1 : chunk_paths) {}
+
+  bool next_chunk(PathSet& chunk) override {
+    chunk.clear();
+    if (next_ >= set_.size()) return false;
+    const std::size_t end = next_ + chunk_paths_ < set_.size()
+                                ? next_ + chunk_paths_
+                                : set_.size();
+    const auto& chans = set_.channels();
+    for (std::size_t p = next_; p < end; ++p) {
+      const std::uint32_t off = set_.offset(p);
+      const std::uint32_t len = set_.length(p);
+      chunk.append(chans.data() + off, chans.data() + off + len);
+    }
+    next_ = end;
+    return true;
+  }
+
+ private:
+  const PathSet& set_;
+  std::size_t chunk_paths_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace ft

@@ -14,17 +14,6 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   KarySimResult result;
   KaryLoadTracker tracker(tree);
 
-  std::vector<KaryRoute> routes;
-  routes.reserve(perm.size());
-  for (std::uint32_t p = 0; p < perm.size(); ++p) {
-    routes.push_back(kary_route(tree, p, perm[p], policy, rng, tracker));
-    result.max_route_hops = std::max(
-        result.max_route_hops,
-        static_cast<std::uint32_t>(routes.back().size()));
-  }
-  result.max_link_load = tracker.max_load();
-  result.mean_link_load = tracker.mean_positive_load();
-
   EngineOptions eopts;
   eopts.contention = ContentionPolicy::Fifo;
   eopts.parallel = opts.parallel;
@@ -32,7 +21,13 @@ KarySimResult simulate_kary_permutation(const KaryTree& tree,
   eopts.fault_plan = opts.fault_plan;
 
   CycleEngine engine(kary_channel_graph(tree), eopts);
-  const EngineResult er = engine.run(kary_path_set(routes), opts.observer);
+  // Routes are generated as the engine ingests them; the tracker and
+  // max_route_hops are final once run_stream has drained the source.
+  KaryRouteSource source(tree, perm, policy, rng, tracker);
+  const EngineResult er = engine.run_stream(source, opts.observer);
+  result.max_route_hops = source.max_route_hops();
+  result.max_link_load = tracker.max_load();
+  result.mean_link_load = tracker.mean_positive_load();
   result.rounds = er.cycles;
   result.delivered = er.delivered;
   result.fault_down_events = er.fault_down_events;

@@ -17,7 +17,7 @@
 namespace ft {
 
 struct KarySimResult {
-  std::uint32_t rounds = 0;
+  std::uint64_t rounds = 0;
   std::uint64_t delivered = 0;  ///< messages delivered (== perm size when
                                 ///< the run completes)
   std::uint64_t max_link_load = 0;

@@ -6,6 +6,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #ifndef FT_GIT_SHA
 #define FT_GIT_SHA "unknown"
 #endif
@@ -26,6 +30,20 @@ std::string timestamp_utc_iso8601() {
 
 unsigned host_hardware_threads() {
   return std::thread::hardware_concurrency();
+}
+
+std::uint64_t host_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
 }
 
 void PhaseTimers::Scope::stop() {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -28,6 +29,11 @@ std::string timestamp_utc_iso8601();
 
 /// std::thread::hardware_concurrency(), 0 when unknown.
 unsigned host_hardware_threads();
+
+/// Peak resident set size of this process in bytes (getrusage ru_maxrss),
+/// 0 when the platform cannot report it. Monotone over the process
+/// lifetime — sample once per phase to attribute growth.
+std::uint64_t host_peak_rss_bytes();
 
 /// Named wall-clock phase accumulator. Scopes are cheap (one
 /// steady_clock read at each end) and re-entering a name accumulates.

@@ -39,7 +39,7 @@ struct UniversalityReport {
   std::uint32_t n = 0;
   double volume = 0.0;
   std::uint64_t ft_root_capacity = 0;
-  std::uint32_t competitor_rounds = 0;  ///< t: store-and-forward time on R
+  std::uint64_t competitor_rounds = 0;  ///< t: store-and-forward time on R
   double load_factor = 0.0;             ///< λ(M) on the fat-tree
   std::size_t ft_cycles = 0;            ///< off-line schedule length
   double ft_time = 0.0;                 ///< cycles × Θ(lg n) bit-time

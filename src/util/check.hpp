@@ -4,6 +4,7 @@
 // output is far worse than a small constant overhead.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -26,3 +27,18 @@ namespace ft::detail {
     if (!(expr))                                                    \
       ::ft::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+namespace ft {
+
+/// Checked narrowing to 32 bits: the engine's index discipline keeps hop
+/// offsets, message indices and per-cycle counts in 32-bit tables (the
+/// narrow half of the narrow/wide width policy, see DESIGN.md
+/// "Scale-out"), so every site that folds a 64-bit size into one of those
+/// tables must prove the value fits. Aborts with the caller's message
+/// instead of silently wrapping.
+inline std::uint32_t checked_u32(std::uint64_t v, const char* what) {
+  FT_CHECK_MSG(v <= 0xffffffffULL, what);
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace ft

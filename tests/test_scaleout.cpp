@@ -1,0 +1,447 @@
+// Scale-out regression tests: streamed message sets are bit-identical to
+// materialized ones (results and trace streams), the narrow/wide channel
+// index boundary at 2^16 channels is seamless, checked narrowing aborts
+// at the 32-bit boundary, and the subtree-sharded parallel executor
+// matches the serial engine on every workload shape — including faults
+// and retry policies. See DESIGN.md "Scale-out".
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/online_router.hpp"
+#include "core/topology.hpp"
+#include "core/traffic.hpp"
+#include "engine/engine.hpp"
+#include "engine/fat_tree_model.hpp"
+#include "engine/kary_model.hpp"
+#include "engine/network_model.hpp"
+#include "kary/kary_routing.hpp"
+#include "kary/kary_sim.hpp"
+#include "kary/kary_tree.hpp"
+#include "nets/builders.hpp"
+#include "nets/routing.hpp"
+#include "nets/store_forward.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace ft;
+
+std::uint64_t event_fingerprint(const TraceSink& trace) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (const MessageEvent& e : trace.message_events()) {
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.message);
+    mix(e.cycle);
+    mix(e.channel);
+  }
+  return h;
+}
+
+void expect_same_result(const EngineResult& a, const EngineResult& b,
+                        const char* label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.gave_up, b.gave_up) << label;
+  EXPECT_EQ(a.delivered, b.delivered) << label;
+  EXPECT_EQ(a.total_attempts, b.total_attempts) << label;
+  EXPECT_EQ(a.total_losses, b.total_losses) << label;
+  EXPECT_EQ(a.total_hops, b.total_hops) << label;
+  EXPECT_EQ(a.latency_sum, b.latency_sum) << label;
+  EXPECT_EQ(a.max_queue, b.max_queue) << label;
+  EXPECT_EQ(a.messages_given_up, b.messages_given_up) << label;
+  EXPECT_EQ(a.total_backoffs, b.total_backoffs) << label;
+  EXPECT_EQ(a.delivered_per_cycle, b.delivered_per_cycle) << label;
+}
+
+// --- Streaming vs materialized -------------------------------------------
+
+// run_stream over chunked slices of a PathSet must match run() on the
+// whole set, for every contention policy, including the traced event
+// stream — whatever the chunk size.
+TEST(Scaleout, StreamedRunMatchesMaterialized) {
+  const std::uint32_t n = 128;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 16);
+  Rng gen(11);
+  const auto m = stacked_permutations(n, 3, gen);
+  const PathSet paths = fat_tree_path_set(topo, m);
+
+  for (const ContentionPolicy policy :
+       {ContentionPolicy::RandomSubset, ContentionPolicy::Fifo,
+        ContentionPolicy::Tally}) {
+    EngineOptions opts;
+    opts.contention = policy;
+    opts.seed = 99;
+
+    CycleEngine base_engine(fat_tree_channel_graph(topo, caps), opts);
+    TraceSink base_trace;
+    const EngineResult base = base_engine.run(paths, &base_trace);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    kDefaultChunkPaths}) {
+      CycleEngine engine(fat_tree_channel_graph(topo, caps), opts);
+      PathSetSource source(paths, chunk);
+      TraceSink trace;
+      const EngineResult streamed = engine.run_stream(source, &trace);
+      expect_same_result(base, streamed, "run_stream");
+      EXPECT_EQ(event_fingerprint(base_trace), event_fingerprint(trace))
+          << "policy " << static_cast<int>(policy) << " chunk " << chunk;
+    }
+  }
+}
+
+/// Yields a fixed sequence of PathSets, one per chunk — the streaming
+/// mirror of run_batched's batch vector.
+class BatchVectorSource final : public MessageSource {
+ public:
+  explicit BatchVectorSource(const std::vector<PathSet>& batches)
+      : batches_(batches) {}
+
+  bool next_chunk(PathSet& chunk) override {
+    chunk.clear();
+    if (next_ >= batches_.size()) return false;
+    chunk.append_set(batches_[next_++]);
+    return true;
+  }
+
+ private:
+  const std::vector<PathSet>& batches_;
+  std::size_t next_ = 0;
+};
+
+TEST(Scaleout, StreamedBatchesMatchRunBatched) {
+  const std::uint32_t n = 64;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 16);
+
+  std::vector<PathSet> batches;
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    Rng gen(50 + k);
+    batches.push_back(fat_tree_path_set(topo, random_permutation_traffic(n, gen)));
+  }
+
+  for (const ContentionPolicy policy :
+       {ContentionPolicy::RandomSubset, ContentionPolicy::Tally}) {
+    EngineOptions opts;
+    opts.contention = policy;
+    opts.seed = 7;
+
+    CycleEngine base_engine(fat_tree_channel_graph(topo, caps), opts);
+    TraceSink base_trace;
+    const EngineResult base = base_engine.run_batched(batches, &base_trace);
+
+    CycleEngine engine(fat_tree_channel_graph(topo, caps), opts);
+    BatchVectorSource source(batches);
+    TraceSink trace;
+    const EngineResult streamed = engine.run_batched_stream(source, &trace);
+    expect_same_result(base, streamed, "run_batched_stream");
+    EXPECT_EQ(event_fingerprint(base_trace), event_fingerprint(trace));
+  }
+}
+
+// route_online and route_online_stream agree for the same messages,
+// including self messages (delivered locally, outside the engine).
+TEST(Scaleout, OnlineRouterStreamMatchesMessageSet) {
+  const std::uint32_t n = 64;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 16);
+  Rng gen(3);
+  MessageSet m = random_permutation_traffic(n, gen);
+  m.push_back({5, 5});  // self messages bypass the engine
+  m.push_back({0, 0});
+
+  for (const bool parallel : {false, true}) {
+    OnlineRouterOptions opts;
+    opts.parallel = parallel;
+
+    Rng rng_a(777);
+    const auto a = route_online(topo, caps, m, rng_a, opts);
+
+    Rng rng_b(777);
+    MessageSetStream stream(m);
+    // lambda_hint only sizes the give-up horizon; any value above the
+    // actual cycle count gives the identical run.
+    const auto b = route_online_stream(topo, caps, stream, 2.0, rng_b, opts);
+
+    EXPECT_EQ(a.delivery_cycles, b.delivery_cycles);
+    EXPECT_EQ(a.total_attempts, b.total_attempts);
+    EXPECT_EQ(a.total_losses, b.total_losses);
+    EXPECT_EQ(a.delivered_per_cycle, b.delivered_per_cycle);
+    const auto total = std::accumulate(a.delivered_per_cycle.begin(),
+                                       a.delivered_per_cycle.end(),
+                                       std::uint64_t{0});
+    EXPECT_EQ(total, m.size());
+  }
+}
+
+// Formula streams agree with their materialized generators element for
+// element, and RandomPermutationStream consumes the same draw as
+// random_permutation_traffic.
+TEST(Scaleout, StreamsMatchMaterializedGenerators) {
+  const std::uint32_t n = 256;
+  const struct {
+    MessageSet materialized;
+    FormulaStream::Fn fn;
+  } cases[] = {
+      {bit_reversal_traffic(n), bit_reversal_dest},
+      {complement_traffic(n), complement_dest},
+      {tornado_traffic(n), tornado_dest},
+      {shuffle_traffic(n), shuffle_dest},
+      {transpose_traffic(n), transpose_dest},
+  };
+  for (const auto& c : cases) {
+    FormulaStream stream(n, c.fn);
+    Message msg;
+    std::size_t i = 0;
+    while (stream.next(msg)) {
+      ASSERT_LT(i, c.materialized.size());
+      EXPECT_EQ(msg.src, c.materialized[i].src);
+      EXPECT_EQ(msg.dst, c.materialized[i].dst);
+      ++i;
+    }
+    EXPECT_EQ(i, c.materialized.size());
+  }
+
+  Rng a(42), b(42);
+  const MessageSet perm = random_permutation_traffic(n, a);
+  RandomPermutationStream stream(n, b);
+  Message msg;
+  std::size_t i = 0;
+  while (stream.next(msg)) {
+    ASSERT_LT(i, perm.size());
+    EXPECT_EQ(msg.src, perm[i].src);
+    EXPECT_EQ(msg.dst, perm[i].dst);
+    ++i;
+  }
+  EXPECT_EQ(i, perm.size());
+}
+
+// Store-and-forward: the streaming entry point matches the route-vector
+// form at any chunk size.
+TEST(Scaleout, StoreForwardStreamMatchesVector) {
+  const auto net = build_mesh2d(6, 6);
+  Rng rng(5);
+  const auto m = uniform_random_traffic(36, 100, rng);
+  const auto routes = route_all_bfs(net, m);
+
+  const auto base = simulate_store_forward(net, routes);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}}) {
+    RouteChunkSource source(routes, chunk);
+    const auto streamed =
+        simulate_store_forward_stream(net, source, routes.size());
+    EXPECT_EQ(base.rounds, streamed.rounds);
+    EXPECT_EQ(base.delivered, streamed.delivered);
+    EXPECT_EQ(base.total_hops, streamed.total_hops);
+    EXPECT_EQ(base.max_queue, streamed.max_queue);
+    EXPECT_EQ(base.mean_latency, streamed.mean_latency);
+  }
+}
+
+// k-ary: the simulation streams its routes; replicating the old
+// materialize-then-run pipeline by hand from the same generator state
+// must give the same rounds and load statistics.
+TEST(Scaleout, KaryStreamMatchesMaterialized) {
+  KaryTree tree(/*k=*/2, /*levels=*/5);
+  const std::uint32_t n = tree.num_processors();
+  Rng pgen(9);
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[pgen.below(i + 1)]);
+  }
+
+  Rng rng_a(21);
+  const auto streamed = simulate_kary_permutation(tree, perm,
+                                                  AscentPolicy::Random, rng_a);
+
+  Rng rng_b(21);
+  KaryLoadTracker tracker(tree);
+  std::vector<KaryRoute> routes;
+  std::uint32_t max_hops = 0;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    routes.push_back(
+        kary_route(tree, p, perm[p], AscentPolicy::Random, rng_b, tracker));
+    max_hops = std::max(max_hops,
+                        static_cast<std::uint32_t>(routes.back().size()));
+  }
+  EngineOptions fifo;
+  fifo.contention = ContentionPolicy::Fifo;
+  CycleEngine engine(kary_channel_graph(tree), fifo);
+  const EngineResult er = engine.run(kary_path_set(routes));
+
+  EXPECT_EQ(streamed.rounds, er.cycles);
+  EXPECT_EQ(streamed.delivered, er.delivered);
+  EXPECT_EQ(streamed.max_route_hops, max_hops);
+  EXPECT_EQ(streamed.max_link_load, tracker.max_load());
+  EXPECT_EQ(streamed.mean_link_load, tracker.mean_positive_load());
+}
+
+// --- Narrow/wide boundary -------------------------------------------------
+
+// Arbitration streams are keyed by (seed, cycle, channel) only, so adding
+// unused channels — in particular crossing the 2^16 boundary where the
+// engine switches from 16-bit to 32-bit hop buffers — must not change any
+// result bit.
+TEST(Scaleout, NarrowWideBoundaryIsSeamless) {
+  const std::size_t kUsed = 100;
+  // Three contenders per channel, capacity 1: every channel runs a
+  // lottery every cycle until its bucket drains.
+  std::vector<EnginePath> paths;
+  for (std::uint32_t i = 0; i < 3 * kUsed; ++i) {
+    paths.push_back({static_cast<std::uint32_t>(i % kUsed)});
+  }
+
+  EngineOptions opts;
+  opts.seed = 1234;
+
+  EngineResult base;
+  bool have_base = false;
+  for (const std::size_t channels :
+       {kUsed, std::size_t{65535}, std::size_t{65536}, std::size_t{65537}}) {
+    CycleEngine engine(
+        ChannelGraph::flat(std::vector<std::uint64_t>(channels, 1)), opts);
+    const EngineResult r = engine.run(paths);
+    EXPECT_EQ(r.delivered, paths.size());
+    EXPECT_EQ(r.cycles, 3u);  // capacity 1, three contenders per channel
+    if (!have_base) {
+      base = r;
+      have_base = true;
+    } else {
+      expect_same_result(base, r, "narrow/wide boundary");
+    }
+  }
+
+  // The top channel slot is usable on both sides of the boundary.
+  for (const std::size_t channels : {std::size_t{65536}, std::size_t{65537}}) {
+    CycleEngine engine(
+        ChannelGraph::flat(std::vector<std::uint64_t>(channels, 1)), opts);
+    std::vector<EnginePath> top = {
+        {static_cast<std::uint32_t>(channels - 1)},
+        {static_cast<std::uint32_t>(channels - 1)}};
+    const EngineResult r = engine.run(top);
+    EXPECT_EQ(r.delivered, 2u);
+    EXPECT_EQ(r.cycles, 2u);
+  }
+}
+
+TEST(ScaleoutDeathTest, CheckedNarrowingAbortsPastU32) {
+  EXPECT_EQ(checked_u32(0xffffffffULL, "fits"), 0xffffffffu);
+  EXPECT_EQ(checked_u32(0, "fits"), 0u);
+  EXPECT_DEATH(checked_u32(0x100000000ULL, "counter overflows 32 bits"),
+               "counter overflows 32 bits");
+}
+
+// --- Subtree sharding -----------------------------------------------------
+
+// The sharded parallel executor is purely an execution strategy: for
+// every shard depth (including depth 1, whose spine band is empty) and
+// for workloads that stay inside shards, all cross the root, or mix, the
+// results and traced event streams match the unsharded serial engine.
+TEST(Scaleout, ShardedEngineMatchesSerial) {
+  const std::uint32_t n = 128;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 32);
+
+  Rng gen(17);
+  const struct {
+    const char* name;
+    MessageSet m;
+  } workloads[] = {
+      {"random_perm", random_permutation_traffic(n, gen)},
+      {"complement", complement_traffic(n)},  // every message crosses root
+      {"local", local_traffic(n, 3, gen)},    // mostly intra-shard
+      {"stacked", stacked_permutations(n, 4, gen)},
+  };
+
+  for (const auto& w : workloads) {
+    const PathSet paths = fat_tree_path_set(topo, w.m);
+
+    EngineOptions serial_opts;
+    serial_opts.seed = 321;
+    CycleEngine serial_engine(fat_tree_channel_graph(topo, caps),
+                              serial_opts);
+    TraceSink serial_trace;
+    const EngineResult serial = serial_engine.run(paths, &serial_trace);
+    EXPECT_FALSE(serial.gave_up) << w.name;
+
+    for (const std::uint32_t shard_level : {1u, 2u, 3u}) {
+      EngineOptions opts;
+      opts.seed = 321;
+      opts.parallel = true;
+      CycleEngine engine(fat_tree_channel_graph(topo, caps, shard_level),
+                         opts);
+      TraceSink trace;
+      const EngineResult sharded = engine.run(paths, &trace);
+      expect_same_result(serial, sharded, w.name);
+      EXPECT_EQ(event_fingerprint(serial_trace), event_fingerprint(trace))
+          << w.name << " shard_level " << shard_level;
+    }
+  }
+}
+
+// Sharding composes with the retry/fault machinery: dynamic faults, kill
+// domains and exponential backoff all run through the sharded sweeps.
+TEST(Scaleout, ShardedEngineMatchesSerialUnderFaults) {
+  const std::uint32_t n = 64;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 16);
+  Rng gen(23);
+  const auto m = stacked_permutations(n, 3, gen);
+  const PathSet paths = fat_tree_path_set(topo, m);
+
+  FaultPlan plan(404);
+  plan.set_domains(fat_tree_subtree_domains(topo, 2));
+  plan.add_subtree_kill({/*node=*/5, /*at_cycle=*/2, /*duration=*/4});
+  plan.set_storm({0.05, 1, 5});
+
+  EngineOptions serial_opts;
+  serial_opts.seed = 55;
+  serial_opts.fault_plan = &plan;
+  serial_opts.retry.exponential_backoff = true;
+  CycleEngine serial_engine(fat_tree_channel_graph(topo, caps), serial_opts);
+  TraceSink serial_trace;
+  const EngineResult serial = serial_engine.run(paths, &serial_trace);
+
+  EngineOptions opts = serial_opts;
+  opts.parallel = true;
+  CycleEngine engine(fat_tree_channel_graph(topo, caps, 2), opts);
+  TraceSink trace;
+  const EngineResult sharded = engine.run(paths, &trace);
+
+  expect_same_result(serial, sharded, "faulted sharded run");
+  EXPECT_EQ(serial.fault_down_events, sharded.fault_down_events);
+  EXPECT_EQ(serial.fault_up_events, sharded.fault_up_events);
+  EXPECT_EQ(serial.subtree_kill_events, sharded.subtree_kill_events);
+  EXPECT_EQ(event_fingerprint(serial_trace), event_fingerprint(trace));
+}
+
+// Streaming and sharding compose: a streamed sharded parallel run equals
+// the materialized serial run.
+TEST(Scaleout, StreamedShardedMatchesMaterializedSerial) {
+  const std::uint32_t n = 128;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 32);
+  Rng gen(29);
+  const auto m = random_permutation_traffic(n, gen);
+  const PathSet paths = fat_tree_path_set(topo, m);
+
+  EngineOptions serial_opts;
+  serial_opts.seed = 777;
+  CycleEngine serial_engine(fat_tree_channel_graph(topo, caps), serial_opts);
+  const EngineResult serial = serial_engine.run(paths);
+
+  EngineOptions opts = serial_opts;
+  opts.parallel = true;
+  CycleEngine engine(fat_tree_channel_graph(topo, caps, 2), opts);
+  MessageSetStream stream(m);
+  FatTreePathSource source(topo, stream, /*chunk_paths=*/16);
+  const EngineResult streamed = engine.run_stream(source);
+
+  expect_same_result(serial, streamed, "streamed sharded");
+}
+
+}  // namespace
