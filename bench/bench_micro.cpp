@@ -24,6 +24,7 @@
 #include "nets/layouts.hpp"
 #include "obs/json.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "switch/concentrator.hpp"
 #include "util/prng.hpp"
 
@@ -303,6 +304,50 @@ std::pair<EngineBenchRow, EngineBenchRow> time_engine(std::uint32_t n) {
   return {serial, parallel};
 }
 
+/// Telemetry-overhead measurement at n = 2^16: serial engine throughput
+/// bare vs with a default-sampling TelemetryProbe attached (every_k = 1,
+/// latency digests on). Interleaved min-of-N like time_engine; fewer
+/// repetitions because one n = 65536 run is ~0.5 s. The acceptance target
+/// is <= 5% cycles/s regression with telemetry on; the ratio is recorded
+/// here (and compared by scripts/bench_compare.py run to run) rather than
+/// gated, since shared runners are too noisy for a hard in-binary gate.
+std::pair<EngineBenchRow, EngineBenchRow> time_engine_telemetry(
+    std::uint32_t n, int reps) {
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+  ft::Rng gen(9000 + n);
+  const auto m = ft::stacked_permutations(n, 4, gen);
+  const auto paths = ft::fat_tree_path_set(topo, m);
+  const auto graph = ft::fat_tree_channel_graph(topo, caps);
+
+  ft::EngineOptions opts;
+  opts.seed = 42;
+  ft::CycleEngine engine(graph, opts);
+  ft::TelemetryProbe probe;
+
+  EngineBenchRow bare{n, "serial", 0, 1e300, 0.0, 0.0};
+  EngineBenchRow telem{n, "serial+telemetry", 0, 1e300, 0.0, 0.0};
+  const auto measure = [&](EngineBenchRow& row, ft::EngineObserver* obs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = engine.run(paths, obs);
+    const auto t1 = std::chrono::steady_clock::now();
+    row.cycles = r.cycles;
+    row.seconds =
+        std::min(row.seconds, std::chrono::duration<double>(t1 - t0).count());
+  };
+  (void)engine.run(paths);
+  (void)engine.run(paths, &probe);
+  probe.reset();
+  for (int rep = 0; rep < reps; ++rep) {
+    measure(bare, nullptr);
+    probe.reset();  // fresh rings per rep; reset cost is outside the timer
+    measure(telem, &probe);
+  }
+  bare.cycles_per_sec = static_cast<double>(bare.cycles) / bare.seconds;
+  telem.cycles_per_sec = static_cast<double>(telem.cycles) / telem.seconds;
+  return {bare, telem};
+}
+
 void write_engine_bench(const char* path) {
   ft::JsonValue doc = ft::JsonValue::object();
   doc["schema"] = "ft.bench_engine/2";
@@ -333,6 +378,38 @@ void write_engine_bench(const char* path) {
                 << row.allocs_per_cycle << " allocs/cycle\n";
     }
   }
+  // Telemetry overhead at n = 2^16 (default sampling): the two rows plus
+  // the ratio land in the report so the <= 5% regression target is
+  // tracked release to release.
+  {
+    const auto [bare, telem] = time_engine_telemetry(65536, /*reps=*/7);
+    for (const EngineBenchRow& row : {bare, telem}) {
+      ft::JsonValue entry = ft::JsonValue::object();
+      entry["name"] = "engine_cycles/n=" + std::to_string(row.n) + "/" +
+                      row.mode;
+      entry["n"] = row.n;
+      entry["mode"] = row.mode;
+      entry["cycles"] = row.cycles;
+      entry["seconds"] = row.seconds;
+      entry["cycles_per_sec"] = row.cycles_per_sec;
+      entry["reps"] = 7;
+      entry["warmup_reps"] = 1;
+      benchmarks.push_back(std::move(entry));
+      std::cout << "engine n=" << row.n << " " << row.mode << ": "
+                << row.cycles_per_sec << " cycles/sec\n";
+    }
+    const double overhead =
+        bare.cycles_per_sec > 0.0
+            ? 1.0 - telem.cycles_per_sec / bare.cycles_per_sec
+            : 0.0;
+    doc["telemetry_overhead"] = ft::JsonValue::object();
+    doc["telemetry_overhead"]["n"] = 65536;
+    doc["telemetry_overhead"]["relative_slowdown"] = overhead;
+    doc["telemetry_overhead"]["target"] = 0.05;
+    std::cout << "telemetry overhead at n=65536: "
+              << overhead * 100.0 << "% (target <= 5%)\n";
+  }
+
   // Sampled after the benchmark loop so it covers the largest workload;
   // comparisons across hosts should also check host.hardware_threads
   // (scripts/bench_compare.py warns on a mismatch). Re-indexed through

@@ -8,12 +8,18 @@
 // at a time, so the run's peak RSS is dominated by the engine's live
 // state, not the input. The sweep times serial mode and parallel mode at
 // 1, 2, 4, ... hardware threads; cycles/s per thread count lands in
-// report_exp_scaleout.json (schema ft.run_report/1).
+// report_exp_scaleout.json (schema ft.run_report/2), along with the
+// engine's measured Amdahl phase decomposition per run (the serial spine
+// band + coordination vs the shard-parallel sweeps) and the telemetry
+// parity check below.
 //
 // Gates (exit 1 on failure):
 //   - every run delivers all n messages without giving up;
 //   - delivery cycles, losses, and the delivered-per-cycle histogram are
 //     identical across all thread counts (serial == sharded parallel);
+//   - a serial and a max-thread parallel run observed by the congestion
+//     observatory produce bit-identical telemetry streams (fingerprint
+//     equality);
 //   - peak RSS stays under 8 GiB at n = 2^20;
 //   - on hosts with >= 4 hardware threads, the best parallel run reaches
 //     >= 1.5x serial cycles/s (skipped below 4 threads, where the
@@ -32,6 +38,7 @@
 #include "core/topology.hpp"
 #include "core/traffic.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/experiment.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +53,7 @@ struct SweepRow {
   std::uint64_t histogram_fnv = 0;
   double seconds = 0.0;
   double cycles_per_sec = 0.0;
+  ft::EnginePhaseProfile phases;  // from the fastest repetition
 };
 
 std::uint64_t fnv1a_u32(const std::vector<std::uint32_t>& v) {
@@ -73,6 +81,7 @@ SweepRow run_once(const ft::FatTreeTopology& topo,
     ft::OnlineRouterOptions opts;
     opts.parallel = parallel;
     opts.threads = threads;
+    opts.time_phases = true;
 
     const auto t0 = std::chrono::steady_clock::now();
     const auto r = ft::route_online_stream(topo, caps, stream,
@@ -85,8 +94,9 @@ SweepRow run_once(const ft::FatTreeTopology& topo,
     for (const std::uint32_t d : r.delivered_per_cycle) row.delivered += d;
     if (r.gave_up) row.delivered = 0;  // a truncated run never passes gates
     row.histogram_fnv = fnv1a_u32(r.delivered_per_cycle);
-    row.seconds = std::min(
-        row.seconds, std::chrono::duration<double>(t1 - t0).count());
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs < row.seconds) row.phases = r.phases;
+    row.seconds = std::min(row.seconds, secs);
   }
   row.cycles_per_sec =
       row.seconds > 0 ? static_cast<double>(row.cycles) / row.seconds : 0.0;
@@ -167,6 +177,7 @@ int main(int argc, char** argv) {
     run["seconds"] = row.seconds;
     run["cycles_per_sec"] = row.cycles_per_sec;
     run["messages_per_sec"] = msgs_per_sec;
+    run["amdahl"] = ft::phase_profile_json(row.phases);
   }
   table.print(std::cout,
               "n = " + std::to_string(n) + ", w = " + std::to_string(n / 2) +
@@ -174,6 +185,65 @@ int main(int argc, char** argv) {
   std::cout << '\n';
 
   bool ok = true;
+
+  // The measured Amdahl decomposition of the sharded executor, from the
+  // fastest max-thread parallel run: how much of each cycle is the
+  // inherently serial spine band + coordination vs the shard-parallel
+  // up/down sweeps.
+  {
+    const SweepRow& par = rows.back();
+    const double sf = par.phases.serial_fraction();
+    std::cout << "amdahl (" << par.mode << "): serial fraction " << sf
+              << " (spine " << par.phases.spine_seconds << "s + coord "
+              << par.phases.coord_seconds << "s of "
+              << par.phases.total_seconds() << "s); speedup ceiling "
+              << (sf > 0 ? 1.0 / sf : 0.0) << "x\n";
+    report.root()["amdahl"] = ft::phase_profile_json(par.phases);
+  }
+
+  // Telemetry parity: one serial and one max-thread parallel run observed
+  // by the congestion observatory must emit bit-identical streams — the
+  // probe rides the serial coordination path, so any divergence means the
+  // sharded executor reordered observable state.
+  {
+    auto phase = timers.scope("telemetry_parity");
+    const std::size_t max_t = thread_counts.back();
+    std::uint64_t fp_serial = 0, fp_parallel = 0;
+    std::uint64_t amdahl_telemetry_cycles = 0;
+    for (const bool parallel : {false, true}) {
+      ft::Rng gen(777);
+      ft::RandomPermutationStream stream(n, gen);
+      ft::Rng rng(4242);
+      ft::TelemetryOptions topts;
+      topts.every_k = 4;  // bounded channel-state scans at n = 2^20
+      ft::TelemetryProbe probe(topts);
+      ft::OnlineRouterOptions opts;
+      opts.parallel = parallel;
+      opts.threads = parallel ? max_t : 0;
+      opts.observer = &probe;
+      const auto r = ft::route_online_stream(topo, caps, stream,
+                                             /*lambda_hint=*/1.0, rng, opts);
+      (parallel ? fp_parallel : fp_serial) = probe.fingerprint();
+      amdahl_telemetry_cycles = r.delivery_cycles;
+      if (parallel) {
+        ft::JsonValue& run = report.add_run("telemetry/parallel/t=" +
+                                            std::to_string(max_t));
+        run["cycles"] = r.delivery_cycles;
+        run["telemetry"] = probe.to_json();
+      }
+    }
+    if (fp_serial != fp_parallel) {
+      std::cout << "GATE FAIL: telemetry streams diverge (serial fingerprint "
+                << fp_serial << " vs parallel " << fp_parallel << ")\n";
+      ok = false;
+    } else {
+      std::cout << "telemetry parity: serial == parallel/t=" << max_t
+                << " fingerprint over " << amdahl_telemetry_cycles
+                << " cycles\n";
+    }
+    report.root()["telemetry_fingerprint_serial"] = fp_serial;
+    report.root()["telemetry_fingerprint_parallel"] = fp_parallel;
+  }
 
   for (const SweepRow& row : rows) {
     if (row.delivered != n) {

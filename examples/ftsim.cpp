@@ -5,12 +5,19 @@
 //   ./example_ftsim --n 512 --w 128 --workload transpose
 //                   --scheduler offline --seed 1 [--faults 0.1] [--csv]
 //                   [--trace trace.json] [--report report.json]
+//                   [--telemetry[=K] --telemetry-out base]
 //
 // --trace writes a Chrome trace_event file (open in chrome://tracing or
 // ui.perfetto.dev), --jsonl a raw event log, --report a schema-versioned
-// RunReport JSON (see DESIGN.md, "Observability"). Offline schedulers are
-// traced by replaying the compiled schedule on the engine; the online
-// scheduler is traced live.
+// RunReport JSON (see DESIGN.md, "Observability"). --telemetry attaches
+// the congestion observatory (obs/telemetry.hpp): per-level occupancy
+// series sampled every K cycles, hottest-channel tracker, latency
+// digests, and the measured Amdahl phase split, exported as
+// <base>.csv/.jsonl heatmaps plus a "telemetry" section of the report.
+// Offline schedulers are traced by replaying the compiled schedule on the
+// engine; the online scheduler is traced live. Transient faults, retry
+// policies, and correlated subtree kills all compose with any of the
+// above (see the flag list in usage()).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +36,7 @@
 #include "engine/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/table.hpp"
@@ -63,7 +71,15 @@ void usage() {
       "  --csv          emit CSV instead of an aligned table\n"
       "  --trace F      write Chrome trace JSON (chrome://tracing, Perfetto)\n"
       "  --jsonl F      write raw per-message event log (one JSON per line)\n"
-      "  --report F     write schema-versioned RunReport JSON\n");
+      "  --report F     write schema-versioned RunReport JSON\n"
+      "                 (ft.run_report/2; includes telemetry + amdahl\n"
+      "                 sections when --telemetry is on)\n"
+      "  --telemetry[=K]  congestion observatory: sample per-level channel\n"
+      "                 state every K cycles (default 4; 1 = every cycle)\n"
+      "                 into bounded rings, track hottest channels, digest\n"
+      "                 delivery latencies, and time the Amdahl phase split\n"
+      "  --telemetry-out B  heatmap output base path (default 'telemetry');\n"
+      "                 writes B.csv and B.jsonl per workload\n");
 }
 
 struct Options {
@@ -96,6 +112,9 @@ struct Options {
   std::string trace_path;
   std::string jsonl_path;
   std::string report_path;
+  bool telemetry = false;
+  std::uint32_t telemetry_every = 4;  // TelemetryOptions default
+  std::string telemetry_out = "telemetry";
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -190,6 +209,17 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.report_path = v;
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opt.telemetry = true;
+      opt.telemetry_every = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 12, nullptr, 10));
+      if (opt.telemetry_every == 0) return false;
+    } else if (arg == "--telemetry-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.telemetry_out = v;
     } else {
       return false;
     }
@@ -208,6 +238,7 @@ struct RunResult {
   std::uint64_t fault_up_events = 0;
   std::uint64_t subtree_kill_events = 0;
   std::uint64_t degraded_channel_cycles = 0;
+  ft::EnginePhaseProfile phases;
 };
 
 /// Runs one workload under the selected scheduler. When `observer` is
@@ -245,6 +276,7 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     opts.observer = observer;
     opts.fault_plan = plan;
     opts.retry = opt.retry;
+    opts.time_phases = opt.telemetry;
     auto t = timers.scope("route");
     const auto res = ft::route_online(topo, caps, m, rng, opts);
     r.cycles = res.delivery_cycles;
@@ -255,6 +287,7 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     r.fault_up_events = res.fault_up_events;
     r.subtree_kill_events = res.subtree_kill_events;
     r.degraded_channel_cycles = res.degraded_channel_cycles;
+    r.phases = res.phases;
     // Complete unless the router hit its cycle cap and gave up, or per-
     // message retry policies ran out.
     r.verified = !res.gave_up && res.messages_given_up == 0;
@@ -273,8 +306,10 @@ RunResult run_one(const ft::FatTreeTopology& topo,
       ft::ReplayOptions ropts;
       ropts.fault_plan = plan;
       ropts.retry = opt.retry;
+      ropts.time_phases = opt.telemetry;
       const auto res = ft::replay_schedule(topo, caps, schedule, ropts,
                                            observer);
+      r.phases = res.phases;
       if (plan != nullptr) {
         // Under churn the schedule's cycle count is the healthy baseline;
         // report what the faulted replay actually took.
@@ -430,15 +465,19 @@ int main(int argc, char** argv) {
       m.insert(m.end(), wl.messages.begin(), wl.messages.end());
     }
 
-    // Observation is opt-in: without --trace/--report the run is exactly
-    // the old unobserved path.
+    // Observation is opt-in: without --trace/--report/--telemetry the run
+    // is exactly the old unobserved path.
     ft::EngineMetrics metrics;
     ft::TraceSink trace;
+    ft::TelemetryOptions topts;
+    topts.every_k = opt.telemetry_every;
+    ft::TelemetryProbe probe(topts);
     ft::ObserverFanout fanout;
     if (want_report) fanout.add(&metrics);
     if (want_trace) fanout.add(&trace);
+    if (opt.telemetry) fanout.add(&probe);
     ft::EngineObserver* observer =
-        (want_report || want_trace) ? &fanout : nullptr;
+        (want_report || want_trace || opt.telemetry) ? &fanout : nullptr;
 
     ft::PhaseTimers timers;
     const auto r = run_one(topo, caps, m, opt, active_plan, observer, timers);
@@ -457,6 +496,26 @@ int main(int argc, char** argv) {
     if (!opt.jsonl_path.empty()) {
       write_sink_file(trace, derived_path(opt.jsonl_path, wl.name, single),
                       /*chrome=*/false);
+    }
+    if (opt.telemetry) {
+      const std::string csv_path =
+          derived_path(opt.telemetry_out + ".csv", wl.name, single);
+      std::ofstream csv(csv_path);
+      if (csv) {
+        probe.write_heatmap_csv(csv);
+        std::fprintf(stderr, "wrote %s\n", csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      }
+      const std::string jsonl_path =
+          derived_path(opt.telemetry_out + ".jsonl", wl.name, single);
+      std::ofstream jsonl(jsonl_path);
+      if (jsonl) {
+        probe.write_heatmap_jsonl(jsonl);
+        std::fprintf(stderr, "wrote %s\n", jsonl_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+      }
     }
     if (want_report) {
       ft::JsonValue& run = report.add_run(wl.name);
@@ -478,6 +537,10 @@ int main(int argc, char** argv) {
       }
       run["engine"] = metrics.to_json();
       run["phases"] = timers.to_json();
+      if (opt.telemetry) {
+        run["telemetry"] = probe.to_json();
+        run["amdahl"] = ft::phase_profile_json(r.phases);
+      }
     }
   }
   if (!matched) {

@@ -24,24 +24,48 @@ import json
 import sys
 
 
-def load_rows(spec: str) -> tuple[dict[str, float], int | None]:
-    """Returns ({row name: cycles_per_sec}, host hardware threads) for a
-    file path or "<path>:baseline" pseudo-path. Threads is None when the
-    report predates the host section (a baseline section has no host of
-    its own: the surrounding file's host applies, since baselines are
-    re-measured on the host that embeds them)."""
+def _get(doc: object, *keys: str) -> object:
+    """dict.get chained over `keys`, tolerating non-dict intermediates.
+
+    Reports evolve additively (ft.bench_engine/1 had no "host", /2 hosts
+    may predate "peak_rss_bytes"), so every identity lookup must survive a
+    side that simply does not have the field yet — None, never KeyError.
+    """
+    for key in keys:
+        if not isinstance(doc, dict):
+            return None
+        doc = doc.get(key)
+    return doc
+
+
+def load_rows(spec: str) -> tuple[dict[str, float], dict[str, object]]:
+    """Returns ({row name: cycles_per_sec}, identity) for a file path or
+    "<path>:baseline" pseudo-path. Identity carries whatever of schema /
+    hardware_threads / peak_rss_bytes the report has (None for fields the
+    report predates — a baseline section has no host of its own: the
+    surrounding file's host applies, since baselines are re-measured on
+    the host that embeds them)."""
     use_baseline = spec.endswith(":baseline")
     path = spec[: -len(":baseline")] if use_baseline else spec
     with open(path) as f:
         doc = json.load(f)
+    if not isinstance(doc, dict):
+        print(f"note: {spec} is not a JSON object; skipping that side")
+        return {}, {}
     section = doc.get("baseline", {}) if use_baseline else doc
-    threads = doc.get("host", {}).get("hardware_threads")
+    identity: dict[str, object] = {
+        "schema": _get(doc, "schema"),
+        "hardware_threads": _get(doc, "host", "hardware_threads"),
+        "peak_rss_bytes": _get(doc, "host", "peak_rss_bytes"),
+    }
+    threads = identity["hardware_threads"]
     if not isinstance(threads, int) or threads <= 0:
-        threads = None
+        identity["hardware_threads"] = None
     rows = {}
-    for entry in section.get("benchmarks", []):
-        name = entry.get("name")
-        rate = entry.get("cycles_per_sec")
+    benchmarks = _get(section, "benchmarks")
+    for entry in benchmarks if isinstance(benchmarks, list) else []:
+        name = _get(entry, "name")
+        rate = _get(entry, "cycles_per_sec")
         if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
             rows[name] = float(rate)
     if not rows:
@@ -49,7 +73,7 @@ def load_rows(spec: str) -> tuple[dict[str, float], int | None]:
         # baselines were embedded, or a filtered bench run) is skippable:
         # compare what exists rather than erroring out of the whole diff.
         print(f"note: no benchmark rows in {spec}; skipping that side")
-    return rows, threads
+    return rows, identity
 
 
 def main() -> int:
@@ -71,8 +95,20 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    old_rows, old_threads = load_rows(args.old)
-    new_rows, new_threads = load_rows(args.new)
+    old_rows, old_id = load_rows(args.old)
+    new_rows, new_id = load_rows(args.new)
+    old_schema, new_schema = old_id.get("schema"), new_id.get("schema")
+    if old_schema != new_schema:
+        # Additive schema bumps keep the benchmark rows comparable; say so
+        # instead of failing (one side may predate the version field
+        # entirely).
+        print(
+            f"note: schema versions differ "
+            f"({old_schema or 'unversioned'} vs {new_schema or 'unversioned'}); "
+            f"comparing the common benchmark rows"
+        )
+    old_threads = old_id.get("hardware_threads")
+    new_threads = new_id.get("hardware_threads")
     if (
         old_threads is not None
         and new_threads is not None

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Render a congestion-observatory heatmap from telemetry JSONL.
+
+Input is the <base>.jsonl written by `ftsim --telemetry` (or any
+TelemetryProbe::write_heatmap_jsonl output): one JSON object per line,
+"series" lines carrying per-window samples (per-level lines additionally
+carry "level" and "utilization"), plus one "top_channels" and one
+"latency" summary line.
+
+Output is an ASCII level x time utilization heatmap plus the hottest
+channels and the latency digest — stdlib only, so it runs anywhere the
+repo builds. When matplotlib is importable and --png is given, the same
+heatmap is also rendered as an image; without matplotlib the flag
+degrades to a note (no new dependencies, ever).
+
+Usage:
+  plot_telemetry.py telemetry.jsonl [--series pending] [--png out.png]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SHADES = " .:-=+*#%@"
+
+
+def load(path: str) -> dict:
+    """Parses the JSONL into {"levels", "series", "top_channels",
+    "latency"}; unknown line types are ignored (forward compatibility)."""
+    levels: dict[int, list[dict]] = {}
+    series: dict[str, list[dict]] = {}
+    top: list[dict] = []
+    latency: dict = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"warning: {path}:{lineno}: unparseable line ({e})",
+                      file=sys.stderr)
+                continue
+            kind = obj.get("type")
+            if kind == "series" and "level" in obj:
+                levels.setdefault(int(obj["level"]), []).append(obj)
+            elif kind == "series":
+                series.setdefault(str(obj.get("name")), []).append(obj)
+            elif kind == "top_channels":
+                top = obj.get("channels", [])
+            elif kind == "latency":
+                latency = obj
+    return {"levels": levels, "series": series, "top_channels": top,
+            "latency": latency}
+
+
+def heatmap_rows(levels: dict[int, list[dict]]) -> list[tuple[int, list[float]]]:
+    """One (level, per-window utilization) row per level. Rings downsample
+    independently, so rows may have different window counts; each row is
+    rendered over its own windows (time always spans the full run)."""
+    rows = []
+    for lvl in sorted(levels):
+        utils = [float(s.get("utilization", 0.0)) for s in levels[lvl]]
+        rows.append((lvl, utils))
+    return rows
+
+
+def render_ascii(rows: list[tuple[int, list[float]]], width: int) -> None:
+    print(f"\nutilization heatmap (level x time, {width} columns, "
+          f"shade ramp '{SHADES}')")
+    for lvl, utils in rows:
+        if not utils:
+            print(f"  L{lvl:<3} (no samples)")
+            continue
+        # Resample the row to the display width by averaging each bucket.
+        cells = []
+        for col in range(width):
+            lo = col * len(utils) // width
+            hi = max(lo + 1, (col + 1) * len(utils) // width)
+            bucket = utils[lo:hi]
+            cells.append(sum(bucket) / len(bucket))
+        line = "".join(
+            SHADES[min(len(SHADES) - 1, int(u * (len(SHADES) - 1) + 0.5))]
+            for u in cells)
+        print(f"  L{lvl:<3} |{line}| peak {max(utils):.3f}")
+
+
+def render_series(name: str, samples: list[dict], width: int) -> None:
+    values = []
+    for s in samples:
+        count = s.get("count", 0)
+        values.append(float(s.get("value", 0)) / count if count else 0.0)
+    if not values:
+        print(f"note: series '{name}' has no samples")
+        return
+    peak = max(values) or 1.0
+    print(f"\n{name} (per-cycle mean, peak {peak:.1f})")
+    cells = []
+    for col in range(width):
+        lo = col * len(values) // width
+        hi = max(lo + 1, (col + 1) * len(values) // width)
+        bucket = values[lo:hi]
+        cells.append(sum(bucket) / len(bucket))
+    line = "".join(
+        SHADES[min(len(SHADES) - 1, int(v / peak * (len(SHADES) - 1) + 0.5))]
+        for v in cells)
+    print(f"  |{line}|")
+
+
+def render_png(rows: list[tuple[int, list[float]]], out: str,
+               width: int) -> None:
+    try:
+        import matplotlib  # noqa: F401 — optional, never required
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print(f"note: matplotlib unavailable; skipping {out} "
+              f"(ASCII heatmap above is the fallback)")
+        return
+    grid = []
+    for _, utils in rows:
+        resampled = []
+        for col in range(width):
+            lo = col * len(utils) // width if utils else 0
+            hi = max(lo + 1, (col + 1) * len(utils) // width) if utils else 1
+            bucket = utils[lo:hi] if utils else [0.0]
+            resampled.append(sum(bucket) / len(bucket))
+        grid.append(resampled)
+    fig, ax = plt.subplots(figsize=(10, max(2, len(rows) * 0.4)))
+    im = ax.imshow(grid, aspect="auto", cmap="inferno", vmin=0.0, vmax=1.0)
+    ax.set_xlabel("time (window index)")
+    ax.set_ylabel("tree level (root at top)")
+    ax.set_yticks(range(len(rows)), [f"L{lvl}" for lvl, _ in rows])
+    fig.colorbar(im, label="utilization")
+    fig.tight_layout()
+    fig.savefig(out, dpi=120)
+    print(f"wrote {out}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Render telemetry JSONL as a level x time heatmap.")
+    parser.add_argument("jsonl", help="TelemetryProbe JSONL export")
+    parser.add_argument("--width", type=int, default=64,
+                        help="heatmap columns (default 64)")
+    parser.add_argument("--series", action="append", default=[],
+                        help="also chart a named global series "
+                             "(pending, losses, ...); repeatable")
+    parser.add_argument("--png", help="also render a PNG via matplotlib "
+                                      "when available (optional)")
+    args = parser.parse_args()
+
+    data = load(args.jsonl)
+    rows = heatmap_rows(data["levels"])
+    if not rows:
+        print("no per-level series found "
+              "(was the run executed with --telemetry?)")
+        return 1
+    render_ascii(rows, args.width)
+
+    for name in args.series:
+        render_series(name, data["series"].get(name, []), args.width)
+
+    if data["top_channels"]:
+        print("\nhottest channels (space-saving sketch; count overestimates "
+              "by at most 'error'):")
+        for e in data["top_channels"][:10]:
+            print(f"  channel {e.get('channel')} (level {e.get('level')}): "
+                  f"count {e.get('count')} error {e.get('error')}")
+    lat = data["latency"]
+    if lat:
+        for key in ("latency", "stretch"):
+            d = lat.get(key)
+            if not isinstance(d, dict):
+                continue
+            print(f"{key}: p50 {d.get('p50')} p95 {d.get('p95')} "
+                  f"p99 {d.get('p99')} p999 {d.get('p999')} "
+                  f"mean {d.get('mean'):.3f} max {d.get('max')}")
+
+    if args.png:
+        render_png(rows, args.png, args.width)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        sys.exit(0)

@@ -1,22 +1,37 @@
 #!/bin/sh
-# Regenerates every experiment table (E1-E16 + microbenchmarks) from a
+# Regenerates every experiment table (E1-E17 + microbenchmarks) from a
 # configured build directory (default: build). Output mirrors
 # bench_output.txt at the repository root. Machine-readable artifacts —
-# the schema-versioned report_*.json RunReports and BENCH_*.json — are
-# collected into a reports directory (default: reports).
-set -e
+# the schema-versioned report_*.json RunReports, BENCH_*.json, and the
+# telemetry_*.csv/.jsonl heatmaps — are collected into a reports
+# directory (default: reports).
+#
+# A failing experiment does not abort the sweep: every binary runs, the
+# failures are listed at the end, and the script exits nonzero so CI
+# surfaces them (gate experiments like exp_utilization and exp_scaleout
+# signal violations through their exit codes).
 BUILD_DIR="${1:-build}"
 REPORT_DIR="${2:-reports}"
-mkdir -p "$REPORT_DIR"
+mkdir -p "$REPORT_DIR" || exit 1
+FAILED=""
 for b in "$BUILD_DIR"/bench/*; do
   if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
   echo
   echo "############ $b ############"
-  "$b"
+  if ! "$b"; then
+    status=$?
+    echo "EXPERIMENT FAILED: $b (exit $status)"
+    FAILED="$FAILED $(basename "$b")"
+  fi
 done
-for f in report_*.json BENCH_*.json; do
+for f in report_*.json BENCH_*.json telemetry_*.csv telemetry_*.jsonl; do
   if [ -f "$f" ]; then mv "$f" "$REPORT_DIR/$f"; fi
 done
 echo
-echo "collected RunReports into $REPORT_DIR/:"
+echo "collected artifacts into $REPORT_DIR/:"
 ls -1 "$REPORT_DIR"
+if [ -n "$FAILED" ]; then
+  echo
+  echo "FAILED experiments:$FAILED"
+  exit 1
+fi

@@ -74,6 +74,7 @@ OnlineRoutingResult route_online_stream(const FatTreeTopology& topo,
   eopts.threads = opts.threads;
   eopts.retry = opts.retry;
   eopts.fault_plan = opts.fault_plan;
+  eopts.time_phases = opts.time_phases;
 
   CycleEngine engine(
       fat_tree_channel_graph(topo, caps, pick_shard_level(topo, opts)), eopts);
@@ -93,6 +94,7 @@ OnlineRoutingResult route_online_stream(const FatTreeTopology& topo,
   result.fault_up_events = er.fault_up_events;
   result.subtree_kill_events = er.subtree_kill_events;
   result.degraded_channel_cycles = er.degraded_channel_cycles;
+  result.phases = er.phases;
   result.delivered_per_cycle = er.delivered_per_cycle;
 
   if (routed.self_delivered() > 0) {

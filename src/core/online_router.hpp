@@ -28,6 +28,7 @@
 #include "core/traffic.hpp"
 #include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
+#include "engine/phase_profile.hpp"
 #include "util/prng.hpp"
 
 namespace ft {
@@ -49,6 +50,9 @@ struct OnlineRoutingResult {
   std::uint64_t fault_up_events = 0;    ///< channel repair transitions
   std::uint64_t subtree_kill_events = 0;  ///< correlated domain strikes
   std::uint64_t degraded_channel_cycles = 0;  ///< Σ degraded chans/cycle
+  /// Wall-clock Amdahl decomposition of the cycle loop; all-zero unless
+  /// OnlineRouterOptions::time_phases was set.
+  EnginePhaseProfile phases;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
@@ -76,6 +80,10 @@ struct OnlineRouterOptions {
   /// Optional transient-fault plan consulted every delivery cycle (not
   /// owned; must outlive the call). nullptr = fault-free run.
   const FaultPlan* fault_plan = nullptr;
+  /// Time the parallel sweeps vs the serial spine/coordination band and
+  /// report the measured Amdahl profile in OnlineRoutingResult::phases.
+  /// Never changes routing results.
+  bool time_phases = false;
 };
 
 /// Routes m on-line; every message is delivered by termination unless the

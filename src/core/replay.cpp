@@ -75,6 +75,7 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
   eopts.threads = opts.threads;
   eopts.fault_plan = opts.fault_plan;
   eopts.retry = opts.retry;
+  eopts.time_phases = opts.time_phases;
   if (opts.fault_plan != nullptr && !opts.fault_plan->empty()) {
     // A faulted replay can run past the schedule horizon while messages
     // wait out down channels; the plan seed keys the fault streams.
@@ -95,6 +96,7 @@ ReplayResult replay_schedule(const FatTreeTopology& topo,
   result.fault_down_events = er.fault_down_events;
   result.fault_up_events = er.fault_up_events;
   result.subtree_kill_events = er.subtree_kill_events;
+  result.phases = er.phases;
   result.delivered_per_cycle = er.delivered_per_cycle;
   return result;
 }

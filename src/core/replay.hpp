@@ -15,6 +15,7 @@
 #include "core/topology.hpp"
 #include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
+#include "engine/phase_profile.hpp"
 
 namespace ft {
 
@@ -31,6 +32,8 @@ struct ReplayOptions {
   /// Per-message retry policy for faulted replays (default: retry every
   /// cycle forever, the classic behavior).
   RetryPolicy retry;
+  /// Time parallel sweeps vs the serial band (ReplayResult::phases).
+  bool time_phases = false;
 };
 
 struct ReplayResult {
@@ -44,6 +47,9 @@ struct ReplayResult {
   std::uint64_t fault_down_events = 0;
   std::uint64_t fault_up_events = 0;
   std::uint64_t subtree_kill_events = 0;
+  /// Wall-clock Amdahl decomposition; all-zero unless
+  /// ReplayOptions::time_phases was set.
+  EnginePhaseProfile phases;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <memory>
 
 #include "engine/chunked_ring.hpp"
@@ -88,6 +89,14 @@ inline std::uint32_t entry_msg(std::uint64_t e) {
 }
 inline std::uint32_t entry_chan(std::uint64_t e) {
   return static_cast<std::uint32_t>(e);
+}
+
+/// Phase timing (EngineOptions::time_phases) clock. Timing reads happen
+/// on the coordination path only, so they never perturb arbitration or
+/// any other simulated outcome.
+using PhaseClock = std::chrono::steady_clock;
+inline double phase_delta(PhaseClock::time_point a, PhaseClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
 }
 
 }  // namespace
@@ -779,8 +788,16 @@ void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
     }
   };
 
+  // Phase timing splits the sweep at its three natural seams: the two
+  // shard-parallel dispatches and the serial middle (outbox distribution,
+  // spine arbitration, spine fan-out) between them.
+  PhaseClock::time_point pt0, pt1, pt2;
+  if (time_phases_) pt0 = PhaseClock::now();
+
   // Up phase: shard-parallel.
   dispatch(0, spine_lo);
+
+  if (time_phases_) pt1 = PhaseClock::now();
 
   // Outbox distribution, serial: route each crossing survivor to the
   // global spine worklists or its destination shard's down worklists,
@@ -827,9 +844,18 @@ void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
     list.clear();
   }
 
+  if (time_phases_) pt2 = PhaseClock::now();
+
   // Down phase: shard-parallel; descent never leaves the subtree, so no
   // outbox entries can appear.
   dispatch(spine_hi, num_stages);
+
+  if (time_phases_) {
+    const auto pt3 = PhaseClock::now();
+    ph_up_ += phase_delta(pt0, pt1);
+    ph_spine_ += phase_delta(pt1, pt2);
+    ph_down_ += phase_delta(pt2, pt3);
+  }
 
   for (ShardState& st : shards_) {
     cycle_losses += st.losses;
@@ -878,10 +904,17 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
   first_chan_.clear();
   attempts_.clear();
   wake_.clear();
+  inject_cycle_.clear();
+  lat_samples_.clear();
 
-  // Message-event tracing is sampled once per run; when off, the only
-  // cost below is one predictable branch per cycle.
+  // Message-event tracing and latency sampling are sampled once per run;
+  // when off, the only cost below is one predictable branch per cycle.
   const bool trace = observer != nullptr && observer->wants_message_events();
+  const bool lat_on =
+      observer != nullptr && observer->wants_latency_samples();
+  time_phases_ = opts_.time_phases;
+  ph_up_ = ph_spine_ = ph_down_ = 0.0;
+  double ph_coord = 0.0;
   std::uint32_t next_id = 0;
   const auto* const stg = stage_table<ChanT>();
 
@@ -941,6 +974,17 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
     FT_CHECK_MSG(result.cycles < 0xffffffffULL,
                  "cycle index overflows the 32-bit arbitration-seed domain");
     const auto cycle = static_cast<std::uint32_t>(result.cycles + 1);
+    PhaseClock::time_point cyc_t0;
+    double sweep_before = 0.0;
+    if (time_phases_) {
+      cyc_t0 = PhaseClock::now();
+      sweep_before = ph_up_ + ph_spine_ + ph_down_;
+    }
+    if (lat_on) lat_samples_.clear();
+    // Channel-state (carried) bookkeeping is consulted per cycle so a
+    // sampling observer only pays the O(channels) occupancy cost on the
+    // cycles it keeps.
+    want_carried_ = observer != nullptr && observer->wants_channel_state(cycle);
     std::uint32_t delivered_now = 0;
     std::uint32_t backoffs_now = 0;
     std::uint32_t gave_up_now = 0;
@@ -1009,6 +1053,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
         const std::uint32_t id = next_id++;
         if (len == 0) {
           ++delivered_now;  // local delivery, no channel used
+          if (lat_on) lat_samples_.push_back({1, 1});
           if (trace) {
             observer->on_message_event(
                 {MessageEventKind::Inject, id, cycle, kNoChannel});
@@ -1029,6 +1074,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
             attempts_.push_back(1);
             wake_.push_back(cycle);
           }
+          if (lat_on) inject_cycle_.push_back(cycle);
           ++contenders;
           seed_entry(idx, fc, fs);
           if (trace) {
@@ -1074,6 +1120,21 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
     std::uint64_t cycle_hops = 0;
     if (sharded_) {
       run_cycle_sharded(chan, cycle, cycle_losses, cycle_hops);
+    } else if (time_phases_) {
+      // Timed twin of the loop below: stages resolved on the pool count
+      // as the parallel band, serial stages as the (spine) serial band.
+      for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
+        if (stage_list_[s].empty()) continue;
+        const bool par = pooled && stage_list_[s].size() >= kMinParallelWork;
+        const auto st0 = PhaseClock::now();
+        if (par) {
+          run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
+        } else {
+          run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+        }
+        const double dt = phase_delta(st0, PhaseClock::now());
+        (par ? ph_up_ : ph_spine_) += dt;
+      }
     } else {
       for (std::uint32_t s = 0; s < graph_.num_stages; ++s) {
         if (stage_list_[s].empty()) continue;
@@ -1115,11 +1176,16 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       std::uint32_t* const bg = begin_.data();
       std::uint32_t* const ids = id_.data();
       std::uint32_t* const fcs = first_chan_.data();
+      std::uint32_t* const ic = inject_cycle_.data();
       if (!retry_on) {
         for (std::size_t i = 0; i < pending; ++i) {
           const std::uint64_t v = ce[i];
           if (static_cast<std::uint32_t>(v) == (v >> 32)) {
             ++delivered_now;
+            // Latency counts delivery cycles from injection inclusive;
+            // ideal is 1 in the lossy modes (an uncontended path
+            // traverses in one cycle).
+            if (lat_on) lat_samples_.push_back({cycle - ic[i] + 1, 1});
           } else {
             const std::uint32_t b = bg[i];
             const std::uint32_t fc = fcs[i];
@@ -1130,6 +1196,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
             bg[kept] = b;
             if (trace) ids[kept] = ids[i];  // ids are only read when tracing
             fcs[kept] = fc;
+            if (lat_on) ic[kept] = ic[i];
             seed_entry(static_cast<std::uint32_t>(kept), fc, fs);
             ++kept;
           }
@@ -1143,6 +1210,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
           const std::uint64_t v = ce[i];
           if (static_cast<std::uint32_t>(v) == (v >> 32)) {
             ++delivered_now;
+            if (lat_on) lat_samples_.push_back({cycle - ic[i] + 1, 1});
             continue;
           }
           std::uint32_t next_wake;
@@ -1190,6 +1258,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
           bg[kept] = b;
           if (trace) ids[kept] = ids[i];
           fcs[kept] = fc;
+          if (lat_on) ic[kept] = ic[i];
           if (next_wake == cycle + 1) {
             att[kept] = att[i] + 1;
             wk[kept] = next_wake;
@@ -1212,6 +1281,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       attempts_.resize(kept);
       wake_.resize(kept);
     }
+    if (lat_on) inject_cycle_.resize(kept);
 
     ++result.cycles;
     result.total_losses += cycle_losses;
@@ -1238,9 +1308,20 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       }
       snap.backoffs = backoffs_now;
       snap.gave_up = gave_up_now;
-      snap.carried = &carried_;
+      snap.carried = want_carried_ ? &carried_ : nullptr;
+      snap.latencies = lat_on ? &lat_samples_ : nullptr;
       snap.graph = &graph_;
       observer->on_cycle(snap);
+    }
+
+    if (time_phases_) {
+      // Everything this cycle spent outside the stage sweeps — injection,
+      // compaction, fault bookkeeping, observer callbacks — is serial
+      // coordination. Clamped at zero against clock jitter.
+      const double cyc = phase_delta(cyc_t0, PhaseClock::now());
+      const double sweep =
+          (ph_up_ + ph_spine_ + ph_down_) - sweep_before;
+      ph_coord += std::max(0.0, cyc - sweep);
     }
 
     if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
@@ -1255,6 +1336,13 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       observer->on_message_event(
           {MessageEventKind::GiveUp, id, last_cycle, kNoChannel});
     }
+  }
+  if (time_phases_) {
+    result.phases.up_seconds = ph_up_;
+    result.phases.spine_seconds = ph_spine_;
+    result.phases.down_seconds = ph_down_;
+    result.phases.coord_seconds = ph_coord;
+    result.phases.timed_cycles = result.cycles;
   }
   return result;
 }
@@ -1272,6 +1360,12 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
   carried_.assign(num_channels, 0);
 
   const bool trace = observer != nullptr && observer->wants_message_events();
+  const bool lat_on =
+      observer != nullptr && observer->wants_latency_samples();
+  lat_samples_.clear();
+  time_phases_ = opts_.time_phases;
+  ph_up_ = ph_spine_ = ph_down_ = 0.0;
+  double ph_coord = 0.0;
 
   // Dynamic faults evolve on the coordination path, once per round, just
   // as in the lossy engine; a down channel forwards nothing this round
@@ -1312,6 +1406,7 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
   struct RangeOut {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
     std::vector<MessageEvent> events;
+    std::vector<LatencySample> lat;
     double latency_sum = 0.0;
     std::uint32_t finished = 0;
     std::uint64_t forwards = 0;
@@ -1333,6 +1428,7 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
     RangeOut& out = outs[r];
     out.arrivals.clear();
     out.events.clear();
+    out.lat.clear();
     out.latency_sum = 0.0;
     out.finished = 0;
     out.forwards = 0;
@@ -1355,6 +1451,11 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
         if (++pos[msg] == offs[msg + 1]) {
           out.latency_sum += round;
           ++out.finished;
+          // Finish round vs the path's contention-free round count: a
+          // message that never queued behind anyone has stretch 1.
+          if (lat_on) {
+            out.lat.push_back({round, offs[msg + 1] - offs[msg]});
+          }
           if (trace) {
             out.events.push_back({MessageEventKind::Deliver, msg, round,
                                   static_cast<std::uint32_t>(lid)});
@@ -1373,6 +1474,13 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
     FT_CHECK_MSG(result.cycles < 0xffffffffULL,
                  "round index overflows 32-bit snapshot cycles");
     const auto round = static_cast<std::uint32_t>(result.cycles + 1);
+    PhaseClock::time_point cyc_t0;
+    double sweep_before = 0.0;
+    if (time_phases_) {
+      cyc_t0 = PhaseClock::now();
+      sweep_before = ph_up_ + ph_spine_;
+    }
+    if (lat_on) lat_samples_.clear();
     const FaultState::CycleFaults* cf = nullptr;
     if (faults) {
       cf = &faults->begin_cycle(round, limit_);
@@ -1396,11 +1504,19 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
         }
       }
     }
+    PhaseClock::time_point sweep_t0;
+    if (time_phases_) sweep_t0 = PhaseClock::now();
     if (num_ranges > 1) {
       pool_->run_tasks(num_ranges,
                        [&](std::size_t r) { process_range(r, round); });
     } else {
       process_range(0, round);
+    }
+    if (time_phases_) {
+      // Pooled range processing is the FIFO mode's parallel band; the
+      // single-range sweep is serial.
+      const double dt = phase_delta(sweep_t0, PhaseClock::now());
+      (num_ranges > 1 ? ph_up_ : ph_spine_) += dt;
     }
 
     bool moved = false;
@@ -1415,6 +1531,13 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
       round_forwards += out.forwards;
       round_peak = std::max(round_peak, out.max_queue);
       for (const auto& [lid, msg] : out.arrivals) queues[lid].push(msg);
+      // Ranges partition channels in ascending order, so this merge
+      // yields one deterministic (ascending final channel) sample order
+      // at any thread count.
+      if (lat_on) {
+        lat_samples_.insert(lat_samples_.end(), out.lat.begin(),
+                            out.lat.end());
+      }
       if (trace) {
         for (const MessageEvent& e : out.events) {
           observer->on_message_event(e);
@@ -1448,9 +1571,20 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
         snap.channels_down = cf->channels_down;
         snap.degraded_channels = cf->degraded_channels;
       }
-      snap.carried = &carried_;
+      // FIFO rounds track carried as part of the forwarding loop either
+      // way; the per-cycle opt-in only decides whether the observer sees
+      // it, keeping the snapshot contract uniform across modes.
+      snap.carried =
+          observer->wants_channel_state(round) ? &carried_ : nullptr;
+      snap.latencies = lat_on ? &lat_samples_ : nullptr;
       snap.graph = &graph_;
       observer->on_cycle(snap);
+    }
+
+    if (time_phases_) {
+      const double cyc = phase_delta(cyc_t0, PhaseClock::now());
+      const double sweep = (ph_up_ + ph_spine_) - sweep_before;
+      ph_coord += std::max(0.0, cyc - sweep);
     }
 
     if (opts_.max_cycles != 0 && result.cycles >= opts_.max_cycles &&
@@ -1469,6 +1603,13 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
                                     static_cast<std::uint32_t>(lid)});
       }
     }
+  }
+  if (time_phases_) {
+    result.phases.up_seconds = ph_up_;
+    result.phases.spine_seconds = ph_spine_;
+    result.phases.down_seconds = ph_down_;
+    result.phases.coord_seconds = ph_coord;
+    result.phases.timed_cycles = result.cycles;
   }
   return result;
 }

@@ -33,6 +33,7 @@
 #include "engine/fault_plan.hpp"
 #include "engine/message_source.hpp"
 #include "engine/observer.hpp"
+#include "engine/phase_profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ft {
@@ -68,6 +69,12 @@ struct EngineOptions {
   /// coordinating thread (see engine/fault_plan.hpp). Not owned; must
   /// outlive every run. nullptr or an empty plan costs nothing.
   const FaultPlan* fault_plan = nullptr;
+  /// Wall-clock phase timing (EngineResult::phases): splits each cycle
+  /// into the parallel up/down sweeps, the serial spine band, and the
+  /// serial coordination remainder — the measured Amdahl decomposition of
+  /// the sharded executor. Timing never changes simulation results; it is
+  /// off by default because steady_clock reads are not free at small n.
+  bool time_phases = false;
 };
 
 struct EngineResult {
@@ -101,6 +108,9 @@ struct EngineResult {
   /// Channel-cycles spent below full admission limit (down or browned
   /// out): the time-degraded numerator of availability.
   std::uint64_t degraded_channel_cycles = 0;
+  /// Wall-clock phase decomposition; all-zero unless
+  /// EngineOptions::time_phases was set.
+  EnginePhaseProfile phases;
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
@@ -334,10 +344,26 @@ class CycleEngine {
   std::vector<std::uint64_t> sort_bits_;
 
   /// carried_ is only observable through an observer's CycleSnapshot;
-  /// without one the lossy stage loops skip the per-channel occupancy
-  /// writes (and the per-cycle clear) entirely.
+  /// without one — or on cycles the observer declines via
+  /// wants_channel_state() — the lossy stage loops skip the per-channel
+  /// occupancy writes (and the per-cycle clear) entirely.
   bool want_carried_ = true;
   std::vector<std::uint32_t> carried_;  ///< per-channel, current cycle
+
+  /// Latency sampling (observer wants_latency_samples() only): the cycle
+  /// each live message was injected in, compacted with ce_, and the
+  /// current cycle's delivered samples handed out through the snapshot.
+  std::vector<std::uint32_t> inject_cycle_;
+  std::vector<LatencySample> lat_samples_;
+
+  /// Phase-timing accumulators (opts_.time_phases only), reset per run
+  /// and folded into EngineResult::phases: the stage sweeps add to
+  /// up/spine/down from the coordination path, the cycle loop attributes
+  /// its remainder to coord.
+  bool time_phases_ = false;
+  double ph_up_ = 0.0;
+  double ph_spine_ = 0.0;
+  double ph_down_ = 0.0;
 };
 
 }  // namespace ft

@@ -22,6 +22,18 @@
 
 namespace ft {
 
+/// One message delivered this cycle, for latency-digest observers
+/// (wants_latency_samples()). `latency` counts delivery cycles from the
+/// message's injection cycle inclusive (a message injected and delivered
+/// in the same cycle has latency 1); `ideal` is its contention-free cost
+/// in the same unit — 1 in the lossy modes (a whole path traverses in one
+/// uncontended cycle), the path's hop count in FIFO mode — so
+/// latency / ideal is the message's stretch.
+struct LatencySample {
+  std::uint32_t latency = 0;
+  std::uint32_t ideal = 1;
+};
+
 /// What happened in one delivery cycle. `carried` points at the engine's
 /// per-channel counters for this cycle (messages that traversed each
 /// channel, i.e. survived its arbitration); it is only valid during the
@@ -42,7 +54,18 @@ struct CycleSnapshot {
   std::uint64_t degraded_channels = 0;  ///< channels below full capacity
   std::uint32_t backoffs = 0;       ///< messages that entered retry backoff
   std::uint32_t gave_up = 0;        ///< messages that exhausted their retries
-  const std::vector<std::uint32_t>* carried = nullptr;  ///< per-channel
+  /// Per-channel carried counts for this cycle; nullptr when no attached
+  /// observer asked for this cycle's channel state (see
+  /// EngineObserver::wants_channel_state).
+  const std::vector<std::uint32_t>* carried = nullptr;
+  /// Messages delivered through the network this cycle, in a deterministic
+  /// order that does not depend on thread count (ascending pending index
+  /// in the lossy modes, ascending final channel in FIFO mode). nullptr
+  /// unless an observer opted in via wants_latency_samples(). Locally
+  /// delivered messages (empty paths) appear with latency == ideal == 1 in
+  /// the lossy modes and are omitted in FIFO mode (they finish before
+  /// round 1 and cross no channel).
+  const std::vector<LatencySample>* latencies = nullptr;
   const ChannelGraph* graph = nullptr;
 };
 
@@ -98,6 +121,21 @@ class EngineObserver {
   /// engine emits nothing and pays only one branch per cycle.
   virtual bool wants_message_events() const { return false; }
   virtual void on_message_event(const MessageEvent& /*event*/) {}
+
+  /// Per-cycle opt-in for the carried channel-state array. Consulted once
+  /// per cycle from the coordinating thread; when it returns false the
+  /// engine skips the O(channels) occupancy bookkeeping for that cycle
+  /// and the snapshot's `carried` is nullptr. Defaults to true so
+  /// existing observers see every cycle; sampling observers (telemetry
+  /// with every_k > 1) return true only on the cycles they keep.
+  virtual bool wants_channel_state(std::uint32_t /*cycle*/) const {
+    return true;
+  }
+
+  /// Opt-in for per-delivery latency samples. Sampled once per run; when
+  /// true the engine tracks each message's injection cycle and fills the
+  /// snapshot's `latencies` with this cycle's deliveries.
+  virtual bool wants_latency_samples() const { return false; }
 };
 
 }  // namespace ft

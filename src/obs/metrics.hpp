@@ -195,6 +195,18 @@ class ObserverFanout final : public EngineObserver {
       if (t->wants_message_events()) t->on_message_event(e);
     }
   }
+  bool wants_channel_state(std::uint32_t cycle) const override {
+    for (const EngineObserver* t : targets_) {
+      if (t->wants_channel_state(cycle)) return true;
+    }
+    return false;
+  }
+  bool wants_latency_samples() const override {
+    for (const EngineObserver* t : targets_) {
+      if (t->wants_latency_samples()) return true;
+    }
+    return false;
+  }
 
  private:
   std::vector<EngineObserver*> targets_;

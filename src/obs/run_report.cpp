@@ -114,4 +114,17 @@ std::optional<JsonValue> RunReport::read_file(const std::string& path) {
   return JsonValue::parse(buf.str());
 }
 
+JsonValue phase_profile_json(const EnginePhaseProfile& p) {
+  JsonValue out = JsonValue::object();
+  out["up_seconds"] = p.up_seconds;
+  out["spine_seconds"] = p.spine_seconds;
+  out["down_seconds"] = p.down_seconds;
+  out["coord_seconds"] = p.coord_seconds;
+  out["timed_cycles"] = p.timed_cycles;
+  out["parallel_seconds"] = p.parallel_seconds();
+  out["serial_seconds"] = p.serial_seconds();
+  out["serial_fraction"] = p.serial_fraction();
+  return out;
+}
+
 }  // namespace ft

@@ -16,9 +16,17 @@
 #include <utility>
 #include <vector>
 
+#include "engine/phase_profile.hpp"
 #include "obs/json.hpp"
 
 namespace ft {
+
+/// The "amdahl" section of a /2 run report: the engine's measured
+/// wall-clock phase decomposition plus the derived serial fraction.
+/// {"up_seconds", "spine_seconds", "down_seconds", "coord_seconds",
+///  "timed_cycles", "parallel_seconds", "serial_seconds",
+///  "serial_fraction"}.
+JsonValue phase_profile_json(const EnginePhaseProfile& p);
 
 /// Short git revision baked in at configure time (FT_GIT_SHA), "unknown"
 /// outside a git checkout.
@@ -84,7 +92,12 @@ class PhaseTimers {
 /// entries, then write().
 class RunReport {
  public:
-  static constexpr const char* kSchema = "ft.run_report/1";
+  /// Version history: /1 — identity + params + runs + phases;
+  /// /2 — runs may additionally carry a "telemetry" section
+  /// (TelemetryProbe::to_json: time series, top channels, latency
+  /// quantile digests) and an "amdahl" section (EnginePhaseProfile).
+  /// Purely additive, so /1 consumers can read /2 reports.
+  static constexpr const char* kSchema = "ft.run_report/2";
 
   explicit RunReport(std::string tool);
 
