@@ -6,6 +6,7 @@
 // machine-readable BENCH_engine.json consumed by perf tracking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <iostream>
 #include <new>
 #include <utility>
+#include <vector>
 
 #include "core/load.hpp"
 #include "core/offline_scheduler.hpp"
@@ -348,6 +350,61 @@ std::pair<EngineBenchRow, EngineBenchRow> time_engine_telemetry(
   return {bare, telem};
 }
 
+/// Parallel thread-scaling rows: the sharded parallel engine at a fixed
+/// thread count, with phase timing on, so BENCH_engine.json tracks the
+/// measured Amdahl serial fraction (spine + coordination over total)
+/// across PRs at every thread count — not just end-to-end cycles/s at
+/// hardware concurrency. The graph is sharded the way route_online would
+/// shard it for `threads` workers (~2 shards per worker), so the row
+/// measures the production executor, parallel spine included.
+struct ThreadBenchRow {
+  std::uint32_t n = 0;
+  std::size_t threads = 0;
+  std::uint64_t cycles = 0;
+  double seconds = 0.0;
+  double cycles_per_sec = 0.0;
+  double spine_serial_fraction = 0.0;
+};
+
+ThreadBenchRow time_engine_threads(std::uint32_t n, std::size_t threads,
+                                   int reps) {
+  ft::FatTreeTopology topo(n);
+  const auto caps = ft::CapacityProfile::universal(topo, n / 4);
+  ft::Rng gen(9000 + n);
+  const auto m = ft::stacked_permutations(n, 4, gen);
+  const auto paths = ft::fat_tree_path_set(topo, m);
+  std::uint32_t lvl = 1;
+  while ((std::size_t{1} << lvl) < threads * 2 && lvl < 6) ++lvl;
+  lvl = std::min(lvl, topo.height() - 1);
+  const auto graph = ft::fat_tree_channel_graph(topo, caps, lvl);
+
+  ft::EngineOptions opts;
+  opts.seed = 42;
+  opts.parallel = true;
+  opts.threads = threads;
+  opts.time_phases = true;
+  ft::CycleEngine engine(graph, opts);
+
+  ThreadBenchRow row;
+  row.n = n;
+  row.threads = threads;
+  row.seconds = 1e300;
+  (void)engine.run(paths);  // warmup: scratch to steady state
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = engine.run(paths);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    row.cycles = r.cycles;
+    if (secs < row.seconds) {
+      row.seconds = secs;
+      row.spine_serial_fraction = r.phases.serial_fraction();
+    }
+  }
+  row.cycles_per_sec = static_cast<double>(row.cycles) / row.seconds;
+  return row;
+}
+
 void write_engine_bench(const char* path) {
   ft::JsonValue doc = ft::JsonValue::object();
   doc["schema"] = "ft.bench_engine/2";
@@ -378,6 +435,41 @@ void write_engine_bench(const char* path) {
                 << row.allocs_per_cycle << " allocs/cycle\n";
     }
   }
+  // Thread-scaling rows at {2, 4, hw} threads (deduplicated): the
+  // sharded executor with the parallel spine, phase-timed, so the
+  // spine_serial_fraction trajectory is tracked per thread count.
+  {
+    std::vector<std::size_t> sweep{2, 4};
+    const std::size_t hw =
+        std::max<std::size_t>(1, ft::host_hardware_threads());
+    if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) {
+      sweep.push_back(hw);
+    }
+    std::sort(sweep.begin(), sweep.end());
+    for (const std::uint32_t n : {4096u, 16384u}) {
+      for (const std::size_t t : sweep) {
+        const ThreadBenchRow row = time_engine_threads(n, t, /*reps=*/7);
+        ft::JsonValue entry = ft::JsonValue::object();
+        entry["name"] = "engine_cycles/n=" + std::to_string(row.n) +
+                        "/parallel/t=" + std::to_string(row.threads);
+        entry["n"] = row.n;
+        entry["mode"] = "parallel/t=" + std::to_string(row.threads);
+        entry["threads"] = static_cast<std::uint64_t>(row.threads);
+        entry["cycles"] = row.cycles;
+        entry["seconds"] = row.seconds;
+        entry["cycles_per_sec"] = row.cycles_per_sec;
+        entry["spine_serial_fraction"] = row.spine_serial_fraction;
+        entry["reps"] = 7;
+        entry["warmup_reps"] = 1;
+        benchmarks.push_back(std::move(entry));
+        std::cout << "engine n=" << row.n << " parallel/t=" << row.threads
+                  << ": " << row.cycles_per_sec
+                  << " cycles/sec, spine serial fraction "
+                  << row.spine_serial_fraction << "\n";
+      }
+    }
+  }
+
   // Telemetry overhead at n = 2^16 (default sampling): the two rows plus
   // the ratio land in the report so the <= 5% regression target is
   // tracked release to release.

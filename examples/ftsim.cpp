@@ -67,6 +67,13 @@ void usage() {
       "  --retry K      give a message up after K contested cycles\n"
       "  --backoff      exponential retry backoff (skip-k-cycles)\n"
       "  --deadline C   give up messages whose retry would pass cycle C\n"
+      "  --parallel[=T] online scheduler: resolve contention on a T-thread\n"
+      "                 pool (T=0 or omitted = hardware concurrency);\n"
+      "                 results are identical to serial runs\n"
+      "  --shard-level=K  subtree shard depth for --parallel (2^K shards;\n"
+      "                 0 = unsharded). Precedence: this flag, then the\n"
+      "                 FT_SHARD_LEVEL environment variable, then the\n"
+      "                 auto heuristic (~2 shards per worker)\n"
       "  --seed S       RNG seed (default 1)\n"
       "  --csv          emit CSV instead of an aligned table\n"
       "  --trace F      write Chrome trace JSON (chrome://tracing, Perfetto)\n"
@@ -107,6 +114,9 @@ struct Options {
   double storm_prob = 0.0;
   std::uint32_t storm_level = 1;
   ft::RetryPolicy retry;
+  bool parallel = false;
+  std::size_t threads = 0;
+  std::uint32_t shard_level = ft::kShardLevelAuto;
   std::uint64_t seed = 1;
   bool csv = false;
   std::string trace_path;
@@ -190,6 +200,19 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.retry.deadline_cycles =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--parallel") {
+      opt.parallel = true;
+    } else if (arg.rfind("--parallel=", 0) == 0) {
+      opt.parallel = true;
+      opt.threads = std::strtoul(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--shard-level=", 0) == 0) {
+      opt.shard_level = static_cast<std::uint32_t>(
+          std::strtoul(arg.c_str() + 14, nullptr, 10));
+    } else if (arg == "--shard-level") {
+      const char* v = next();
+      if (!v) return false;
+      opt.shard_level =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--seed") {
       const char* v = next();
@@ -276,6 +299,9 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     opts.observer = observer;
     opts.fault_plan = plan;
     opts.retry = opt.retry;
+    opts.parallel = opt.parallel;
+    opts.threads = opt.threads;
+    opts.shard_level = opt.shard_level;
     opts.time_phases = opt.telemetry;
     auto t = timers.scope("route");
     const auto res = ft::route_online(topo, caps, m, rng, opts);

@@ -7,6 +7,12 @@ inside --tolerance (default 0.10) are reported as "ok"; larger moves are
 labeled "faster" / "SLOWER". A file's embedded "baseline" section can
 stand in for either side via the pseudo-path "<file>:baseline".
 
+Rows that carry a spine_serial_fraction (the parallel thread-scaling
+entries) are additionally compared on it: a relative increase beyond 10%
+prints a WARNING but never fails the run, even under --strict — wall-
+clock phase fractions are noisier than throughput, and the Amdahl
+trajectory is a trend to watch, not a merge gate.
+
 Exit status is 0 unless --strict is given, in which case any row slower
 than the tolerance fails the run. CI runs this informationally
 (non-blocking): benchmark hosts are too noisy to gate merges on, but the
@@ -15,6 +21,7 @@ table in the log makes regressions visible the day they land.
 Usage:
   bench_compare.py OLD.json NEW.json [--tolerance 0.10] [--strict]
   bench_compare.py BENCH_engine.json:baseline BENCH_engine.json
+  bench_compare.py --self-test
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+# spine_serial_fraction regressions beyond this relative increase warn.
+FRACTION_WARN_REL = 0.10
 
 
 def _get(doc: object, *keys: str) -> object:
@@ -38,20 +48,15 @@ def _get(doc: object, *keys: str) -> object:
     return doc
 
 
-def load_rows(spec: str) -> tuple[dict[str, float], dict[str, object]]:
-    """Returns ({row name: cycles_per_sec}, identity) for a file path or
-    "<path>:baseline" pseudo-path. Identity carries whatever of schema /
-    hardware_threads / peak_rss_bytes the report has (None for fields the
-    report predates — a baseline section has no host of its own: the
-    surrounding file's host applies, since baselines are re-measured on
-    the host that embeds them)."""
-    use_baseline = spec.endswith(":baseline")
-    path = spec[: -len(":baseline")] if use_baseline else spec
-    with open(path) as f:
-        doc = json.load(f)
+def parse_doc(
+    doc: object, spec: str, use_baseline: bool = False
+) -> tuple[dict[str, float], dict[str, float], dict[str, object]]:
+    """Extracts ({name: cycles_per_sec}, {name: spine_serial_fraction},
+    identity) from a parsed report document. Split out of load_rows so the
+    self-test can drive it on synthetic documents."""
     if not isinstance(doc, dict):
         print(f"note: {spec} is not a JSON object; skipping that side")
-        return {}, {}
+        return {}, {}, {}
     section = doc.get("baseline", {}) if use_baseline else doc
     identity: dict[str, object] = {
         "schema": _get(doc, "schema"),
@@ -61,42 +66,66 @@ def load_rows(spec: str) -> tuple[dict[str, float], dict[str, object]]:
     threads = identity["hardware_threads"]
     if not isinstance(threads, int) or threads <= 0:
         identity["hardware_threads"] = None
-    rows = {}
+    rows: dict[str, float] = {}
+    fractions: dict[str, float] = {}
     benchmarks = _get(section, "benchmarks")
     for entry in benchmarks if isinstance(benchmarks, list) else []:
         name = _get(entry, "name")
         rate = _get(entry, "cycles_per_sec")
         if isinstance(name, str) and isinstance(rate, (int, float)) and rate > 0:
             rows[name] = float(rate)
+            frac = _get(entry, "spine_serial_fraction")
+            if isinstance(frac, (int, float)) and frac >= 0:
+                fractions[name] = float(frac)
     if not rows:
         # A side with no rows (e.g. ":baseline" on a report written before
         # baselines were embedded, or a filtered bench run) is skippable:
         # compare what exists rather than erroring out of the whole diff.
         print(f"note: no benchmark rows in {spec}; skipping that side")
-    return rows, identity
+    return rows, fractions, identity
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(
-        description="Diff two BENCH_engine.json reports with noise tolerance."
-    )
-    parser.add_argument("old", help="baseline report (or <path>:baseline)")
-    parser.add_argument("new", help="candidate report (or <path>:baseline)")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.10,
-        help="relative change treated as noise (default 0.10)",
-    )
-    parser.add_argument(
-        "--strict",
-        action="store_true",
-        help="exit 1 if any row is slower than the tolerance",
-    )
-    args = parser.parse_args()
+def load_rows(
+    spec: str,
+) -> tuple[dict[str, float], dict[str, float], dict[str, object]]:
+    """parse_doc over a file path or "<path>:baseline" pseudo-path."""
+    use_baseline = spec.endswith(":baseline")
+    path = spec[: -len(":baseline")] if use_baseline else spec
+    with open(path) as f:
+        doc = json.load(f)
+    return parse_doc(doc, spec, use_baseline)
 
-    old_rows, old_id = load_rows(args.old)
-    new_rows, new_id = load_rows(args.new)
+
+def fraction_warnings(
+    old_fracs: dict[str, float],
+    new_fracs: dict[str, float],
+    rel: float = FRACTION_WARN_REL,
+) -> list[tuple[str, float, float]]:
+    """Rows whose spine_serial_fraction grew by more than `rel` relative
+    (old 0 -> any positive new value also warns: the spine went from free
+    to measurable). Returns (name, old, new) tuples, sorted by name."""
+    out = []
+    for name in sorted(set(old_fracs) & set(new_fracs)):
+        old, new = old_fracs[name], new_fracs[name]
+        if old <= 0.0:
+            if new > 0.0:
+                out.append((name, old, new))
+        elif new > old * (1.0 + rel):
+            out.append((name, old, new))
+    return out
+
+
+def classify(ratio: float, tolerance: float) -> str:
+    if ratio < 1.0 - tolerance:
+        return "SLOWER"
+    if ratio > 1.0 + tolerance:
+        return "faster"
+    return "ok"
+
+
+def compare(old_spec: str, new_spec: str, tolerance: float, strict: bool) -> int:
+    old_rows, old_fracs, old_id = load_rows(old_spec)
+    new_rows, new_fracs, new_id = load_rows(new_spec)
     old_schema, new_schema = old_id.get("schema"), new_id.get("schema")
     if old_schema != new_schema:
         # Additive schema bumps keep the benchmark rows comparable; say so
@@ -137,24 +166,149 @@ def main() -> int:
                   f"missing from {side}")
             continue
         ratio = new / old
-        if ratio < 1.0 - args.tolerance:
-            verdict = "SLOWER"
+        verdict = classify(ratio, tolerance)
+        if verdict == "SLOWER":
             regressions.append((name, ratio))
-        elif ratio > 1.0 + args.tolerance:
-            verdict = "faster"
-        else:
-            verdict = "ok"
         print(f"{name:<{width}}  {old:>12.1f}  {new:>12.1f}  "
               f"{ratio:>6.2f}x  {verdict}")
 
+    for name, old, new in fraction_warnings(old_fracs, new_fracs):
+        print(
+            f"WARNING: {name}: spine_serial_fraction regressed "
+            f"{old:.4f} -> {new:.4f} "
+            f"(> {FRACTION_WARN_REL:.0%} relative); the Amdahl spine is "
+            f"growing back (informational, never fails the run)"
+        )
+
     if regressions:
         print(f"\n{len(regressions)} row(s) slower than the "
-              f"{args.tolerance:.0%} tolerance:")
+              f"{tolerance:.0%} tolerance:")
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x")
-        return 1 if args.strict else 0
+        return 1 if strict else 0
     print("\nno regressions beyond tolerance")
     return 0
+
+
+def self_test() -> int:
+    """Unit-style checks over synthetic documents plus one end-to-end
+    compare() through temp files. Exits nonzero on the first failure."""
+    import os
+    import tempfile
+
+    def row(name, cps, frac=None):
+        entry = {"name": name, "cycles_per_sec": cps}
+        if frac is not None:
+            entry["spine_serial_fraction"] = frac
+        return entry
+
+    old_doc = {
+        "schema": "ft.bench_engine/2",
+        "host": {"hardware_threads": 4},
+        "benchmarks": [
+            row("engine_cycles/n=4096/serial", 1000.0),
+            row("engine_cycles/n=4096/parallel/t=2", 1500.0, 0.40),
+            row("engine_cycles/n=4096/parallel/t=4", 2000.0, 0.30),
+        ],
+        "baseline": {"benchmarks": [row("engine_cycles/n=4096/serial", 500.0)]},
+    }
+    new_doc = {
+        "schema": "ft.bench_engine/2",
+        "host": {"hardware_threads": 4},
+        "benchmarks": [
+            row("engine_cycles/n=4096/serial", 1010.0),
+            row("engine_cycles/n=4096/parallel/t=2", 1490.0, 0.48),
+            row("engine_cycles/n=4096/parallel/t=4", 800.0, 0.31),
+        ],
+    }
+
+    rows, fracs, ident = parse_doc(old_doc, "old")
+    assert rows["engine_cycles/n=4096/serial"] == 1000.0, rows
+    assert fracs == {
+        "engine_cycles/n=4096/parallel/t=2": 0.40,
+        "engine_cycles/n=4096/parallel/t=4": 0.30,
+    }, fracs
+    assert ident["hardware_threads"] == 4, ident
+
+    # The :baseline pseudo-section keeps the outer file's identity.
+    brows, bfracs, bident = parse_doc(old_doc, "old:baseline", True)
+    assert brows == {"engine_cycles/n=4096/serial": 500.0}, brows
+    assert bfracs == {}, bfracs
+    assert bident["hardware_threads"] == 4, bident
+
+    # Degenerate inputs parse to empty, never raise.
+    assert parse_doc([], "list") == ({}, {}, {})
+    assert parse_doc({"benchmarks": "nope"}, "str")[0] == {}
+    assert parse_doc({"benchmarks": [{"name": 3, "cycles_per_sec": -1}]},
+                     "bad")[0] == {}
+
+    assert classify(0.85, 0.10) == "SLOWER"
+    assert classify(0.95, 0.10) == "ok"
+    assert classify(1.05, 0.10) == "ok"
+    assert classify(1.15, 0.10) == "faster"
+
+    _, old_fracs, _ = parse_doc(old_doc, "old")
+    _, new_fracs, _ = parse_doc(new_doc, "new")
+    warned = fraction_warnings(old_fracs, new_fracs)
+    # t=2 grew 0.40 -> 0.48 (+20%): warns. t=4 grew 0.30 -> 0.31 (+3.3%):
+    # inside the 10% band, silent.
+    assert [w[0] for w in warned] == [
+        "engine_cycles/n=4096/parallel/t=2"
+    ], warned
+    # A fraction appearing from zero warns too.
+    assert fraction_warnings({"a": 0.0}, {"a": 0.01}) == [("a", 0.0, 0.01)]
+    assert fraction_warnings({"a": 0.0}, {"a": 0.0}) == []
+
+    # End to end: the t=4 throughput collapse is SLOWER but non-strict
+    # compare still exits 0; strict exits 1; fraction warnings never flip
+    # the exit code on their own.
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w") as f:
+            json.dump(old_doc, f)
+        with open(new_path, "w") as f:
+            json.dump(new_doc, f)
+        assert compare(old_path, new_path, 0.10, strict=False) == 0
+        assert compare(old_path, new_path, 0.10, strict=True) == 1
+        # Identical files: clean under strict even with fractions present.
+        assert compare(new_path, new_path, 0.10, strict=True) == 0
+        # Baseline pseudo-path still loads through the file route.
+        assert compare(old_path + ":baseline", new_path, 0.10,
+                       strict=False) == 0
+
+    print("self-test ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_engine.json reports with noise tolerance."
+    )
+    parser.add_argument("old", nargs="?", help="baseline report (or <path>:baseline)")
+    parser.add_argument("new", nargs="?", help="candidate report (or <path>:baseline)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative change treated as noise (default 0.10)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if any row is slower than the tolerance",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in unit checks and exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.old is None or args.new is None:
+        parser.error("OLD and NEW reports are required (or --self-test)")
+    return compare(args.old, args.new, args.tolerance, args.strict)
 
 
 if __name__ == "__main__":

@@ -56,6 +56,10 @@ struct OnlineRoutingResult {
   std::vector<std::uint32_t> delivered_per_cycle;
 };
 
+/// Sentinel for OnlineRouterOptions::shard_level: defer to FT_SHARD_LEVEL
+/// or the measured heuristic.
+inline constexpr std::uint32_t kShardLevelAuto = 0xffffffffu;
+
 struct OnlineRouterOptions {
   /// Give up after this many cycles. 0 selects the safety default
   /// 64·(⌊λ(M)⌋ + lg² n + 4) — far above the w.h.p. envelope, so hitting
@@ -71,6 +75,16 @@ struct OnlineRouterOptions {
   bool parallel = false;
   /// Worker threads for parallel mode (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Sharded executor: resolve heavy spine stages on the thread pool too
+  /// (see EngineOptions::parallel_spine). Results are identical either
+  /// way; off keeps the serial-spine Amdahl reference measurable.
+  bool parallel_spine = true;
+  /// Subtree shard depth for the parallel executor. kShardLevelAuto
+  /// defers to the FT_SHARD_LEVEL environment variable if set, else to
+  /// the pick_shard_level heuristic (~2 shards per worker); any other
+  /// value — 0 means explicitly unsharded — is used as-is, clamped to
+  /// the topology height. Ignored in serial mode.
+  std::uint32_t shard_level = kShardLevelAuto;
   /// Optional instrumentation hook (per-cycle counters, channel
   /// utilization; see engine/observer.hpp). Not owned.
   EngineObserver* observer = nullptr;

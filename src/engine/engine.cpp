@@ -1,7 +1,6 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
 #include <chrono>
 #include <memory>
@@ -388,7 +387,12 @@ void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
       const std::size_t j = arb.below(i);
       std::swap(b[i - 1], b[j]);
     }
-    for (std::size_t k = limit; k < size; ++k) alive_[b[k]] = 0;
+    // Losers need no write at all: their cursor simply stops here, short
+    // of end, and they sit in the loser block b[limit..size), which the
+    // serial merge in run_stage_parallel never walks. The only state a
+    // worker mutates is its own bucket's slice of the arena and the
+    // packed ce_ words of that bucket's messages — channels of one stage
+    // are disjoint, so workers never share either.
     for (std::size_t k = 0; k < limit; ++k) ++ce_[b[k]];
   } else {
     for (std::size_t k = 0; k < size; ++k) ++ce_[b[k]];
@@ -412,10 +416,13 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
 
   if (num_buckets >= 2) {
     // Channels of one stage are independent (no path visits two), so
-    // workers own disjoint messages, cursors and alive flags. Chunks are
-    // cut by contender mass — free off the CSR offsets — so one giant
-    // bucket does not serialize the stage.
-    const std::size_t workers = std::min(pool_->size(), num_buckets);
+    // workers own disjoint messages and cursors. Chunks are cut by
+    // contender mass — free off the CSR offsets — so one giant bucket
+    // does not serialize the stage; the pool's work-stealing batch mode
+    // rebalances whatever mass estimation got wrong (a chunk's lottery
+    // cost depends on how many of its buckets are over limit, which the
+    // offsets alone cannot see).
+    const std::size_t workers = std::min(pool_->size() + 1, num_buckets);
     const std::size_t target =
         std::max<std::size_t>(1, contenders / (workers * 4));
     chunk_bounds_.clear();
@@ -430,14 +437,9 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
     }
     chunk_bounds_.push_back(num_buckets);
     const std::size_t num_chunks = chunk_bounds_.size() - 1;
-    std::atomic<std::size_t> next{0};
-    pool_->run_tasks(std::min(workers, num_chunks), [&](std::size_t) {
-      for (;;) {
-        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-        if (t >= num_chunks) return;
-        for (std::size_t j = chunk_bounds_[t]; j < chunk_bounds_[t + 1]; ++j) {
-          arbitrate_bucket(cycle, touched[j], j);
-        }
+    pool_->run_tasks(num_chunks, [&](std::size_t t) {
+      for (std::size_t j = chunk_bounds_[t]; j < chunk_bounds_[t + 1]; ++j) {
+        arbitrate_bucket(cycle, touched[j], j);
       }
     });
   } else {
@@ -446,39 +448,43 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
     }
   }
 
-  // Serial accounting pass: per-channel occupancy and cycle totals come
-  // straight off the CSR offsets, so the parallel workers above touch no
-  // shared counters at all.
-  for (std::size_t j = 0; j < num_buckets; ++j) {
-    const std::uint32_t c = touched[j];
-    const std::uint64_t size = bucket_off_[j + 1] - bucket_off_[j];
-    const std::uint64_t winners =
-        std::min<std::uint64_t>(size, active_limit_[c]);
-    if (want_carried_) carried_[c] = static_cast<std::uint32_t>(winners);
-    cycle_losses += size - winners;
-    cycle_hops += winners;
-  }
-
-  // Forward survivors to the stage of their next channel, counting them
-  // into its buckets as they land. Strictly increasing stages along every
-  // path guarantee the target worklist has not been processed yet, so
-  // each message is bucketed exactly once per cycle per hop it wins.
-  // Members are hoisted into locals for the same reason as in
-  // run_stage_serial.
+  // Deterministic channel-ordered merge: one serial pass walks the
+  // buckets in worklist (touched) order and, per bucket, its winner
+  // block arena_[off .. off + winners) — the lottery left exactly the
+  // survivors there, so the positional block IS each worker's buffered
+  // outcome and no kill flags are needed. Accounting (occupancy for
+  // telemetry, loss/hop totals) and survivor forwarding both happen
+  // here, on the coordinating thread, in an order independent of which
+  // worker resolved which bucket — that is what keeps traces and
+  // telemetry bit-identical to the serial executor. Strictly increasing
+  // stages along every path guarantee the target worklist has not been
+  // processed yet, so each message is bucketed exactly once per cycle
+  // per hop it wins. Members are hoisted into locals for the same
+  // reason as in run_stage_serial.
   std::uint32_t* const bp = bucket_pos_.data();
   const auto* const stg = stage_table<ChanT>();
   auto* const lst = stage_list_.data();
   auto* const touch = stage_touched_.data();
   const std::uint64_t* const ce = ce_.data();
-  const std::uint8_t* const alv = alive_.data();
-  for (const std::uint32_t i : arena_) {
-    if (!alv[i]) continue;
-    const std::uint64_t v = ce[i];  // cursor already advanced by the lottery
-    if (static_cast<std::uint32_t>(v) < (v >> 32)) {
-      const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
-      const std::uint32_t ns = stg[nc];
-      if (bp[nc]++ == 0) touch[ns].push_back(nc);
-      lst[ns].push_back(pack_entry(i, nc));
+  const std::uint32_t* const ar = arena_.data();
+  for (std::size_t j = 0; j < num_buckets; ++j) {
+    const std::uint32_t c = touched[j];
+    const std::uint32_t off = bucket_off_[j];
+    const std::uint64_t size = bucket_off_[j + 1] - off;
+    const std::uint64_t winners =
+        std::min<std::uint64_t>(size, active_limit_[c]);
+    if (want_carried_) carried_[c] = static_cast<std::uint32_t>(winners);
+    cycle_losses += size - winners;
+    cycle_hops += winners;
+    for (std::uint64_t k = 0; k < winners; ++k) {
+      const std::uint32_t i = ar[off + k];
+      const std::uint64_t v = ce[i];  // cursor already advanced by the lottery
+      if (static_cast<std::uint32_t>(v) < (v >> 32)) {
+        const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
+        const std::uint32_t ns = stg[nc];
+        if (bp[nc]++ == 0) touch[ns].push_back(nc);
+        lst[ns].push_back(pack_entry(i, nc));
+      }
     }
   }
   for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
@@ -567,11 +573,10 @@ void CycleEngine::fused_stage(const ChanT* chan, std::uint32_t cycle,
       const std::size_t j = arb.below(i);
       std::swap(b[i - 1], b[j]);
     }
-    // Losers need no kill flag: their cursor stops here, short of end, and
-    // everything downstream (compaction, tracing) reads the delivered
-    // state straight off the packed word (cursor == end). Only the
-    // parallel path keeps alive_, whose forward pass must skip the
-    // lottery's losers without re-deriving their stage.
+    // Losers need no write: their cursor stops here, short of end, and
+    // everything downstream (compaction, tracing, the parallel merge)
+    // reads the delivered state straight off the packed word
+    // (cursor == end).
     for (std::size_t k = 0; k < limit; ++k) {
       const std::uint64_t v = ++ce[b[k]];
       if (static_cast<std::uint32_t>(v) < (v >> 32)) {
@@ -678,11 +683,10 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
       const std::size_t j = arb.below(i);
       std::swap(b[i - 1], b[j]);
     }
-    // Losers need no kill flag: their cursor stops here, short of end, and
-    // everything downstream (compaction, tracing) reads the delivered
-    // state straight off the packed word (cursor == end). Only the
-    // parallel path keeps alive_, whose forward pass must skip the
-    // lottery's losers without re-deriving their stage.
+    // Losers need no write: their cursor stops here, short of end, and
+    // everything downstream (compaction, tracing, the parallel merge)
+    // reads the delivered state straight off the packed word
+    // (cursor == end).
     for (std::size_t k = 0; k < limit; ++k) {
       const std::uint64_t v = ++ce[b[k]];
       if (static_cast<std::uint32_t>(v) < (v >> 32)) {
@@ -789,10 +793,16 @@ void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
   };
 
   // Phase timing splits the sweep at its three natural seams: the two
-  // shard-parallel dispatches and the serial middle (outbox distribution,
-  // spine arbitration, spine fan-out) between them.
+  // shard-parallel dispatches and the middle (outbox distribution, spine
+  // arbitration, spine fan-out) between them. Spine stages resolved on
+  // the pool accumulate into ph_spine_par_ inside the middle window and
+  // are subtracted from its serial share below.
   PhaseClock::time_point pt0, pt1, pt2;
-  if (time_phases_) pt0 = PhaseClock::now();
+  double spine_par_before = 0.0;
+  if (time_phases_) {
+    pt0 = PhaseClock::now();
+    spine_par_before = ph_spine_par_;
+  }
 
   // Up phase: shard-parallel.
   dispatch(0, spine_lo);
@@ -819,12 +829,30 @@ void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
     st.outbox.clear();
   }
 
-  // Spine stages, serial on the global worklists: the only arbitration
-  // that crosses shards. Empty when the shard roots sit directly under
-  // the fat-tree root (shard level 1).
+  // Spine stages, on the global worklists: the only arbitration that
+  // crosses shards. Empty when the shard roots sit directly under the
+  // fat-tree root (shard level 1). Each spine channel's lottery is keyed
+  // by (seed, cycle, channel) alone, so heavy spine stages go to the
+  // pool — workers resolve disjoint buckets, then run_stage_parallel's
+  // channel-ordered merge applies the outcomes deterministically, which
+  // is what keeps results, traces and telemetry bit-identical to the
+  // serial spine (and to the fully serial executor). Light stages stay
+  // on the coordinating thread: below kMinParallelWork the batch wakeup
+  // costs more than the lottery.
+  const bool spine_pooled = pooled && opts_.parallel_spine;
   for (std::uint32_t s = spine_lo; s < spine_hi; ++s) {
     if (stage_list_[s].empty()) continue;
-    run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+    if (spine_pooled && stage_list_[s].size() >= kMinParallelWork) {
+      if (time_phases_) {
+        const auto st0 = PhaseClock::now();
+        run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
+        ph_spine_par_ += phase_delta(st0, PhaseClock::now());
+      } else {
+        run_stage_parallel(chan, cycle, s, cycle_losses, cycle_hops);
+      }
+    } else {
+      run_stage_serial(chan, cycle, s, cycle_losses, cycle_hops);
+    }
   }
 
   // Spine fan-out: survivors the spine forwarded into global down-stage
@@ -853,7 +881,8 @@ void CycleEngine::run_cycle_sharded(const ChanT* chan, std::uint32_t cycle,
   if (time_phases_) {
     const auto pt3 = PhaseClock::now();
     ph_up_ += phase_delta(pt0, pt1);
-    ph_spine_ += phase_delta(pt1, pt2);
+    ph_spine_ += std::max(
+        0.0, phase_delta(pt1, pt2) - (ph_spine_par_ - spine_par_before));
     ph_down_ += phase_delta(pt2, pt3);
   }
 
@@ -913,7 +942,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
   const bool lat_on =
       observer != nullptr && observer->wants_latency_samples();
   time_phases_ = opts_.time_phases;
-  ph_up_ = ph_spine_ = ph_down_ = 0.0;
+  ph_up_ = ph_spine_ = ph_spine_par_ = ph_down_ = 0.0;
   double ph_coord = 0.0;
   std::uint32_t next_id = 0;
   const auto* const stg = stage_table<ChanT>();
@@ -978,7 +1007,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
     double sweep_before = 0.0;
     if (time_phases_) {
       cyc_t0 = PhaseClock::now();
-      sweep_before = ph_up_ + ph_spine_ + ph_down_;
+      sweep_before = ph_up_ + ph_spine_ + ph_spine_par_ + ph_down_;
     }
     if (lat_on) lat_samples_.clear();
     // Channel-state (carried) bookkeeping is consulted per cycle so a
@@ -1111,9 +1140,6 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
     // count equals its worklist length, so the serial/parallel split is
     // decided before any bucket is built.
     const bool pooled = pool_ != nullptr && pool_->size() > 1;
-    // The sharded sweep runs the fused (kill-flag-free) algorithm on
-    // every shard, so alive_ stays untouched there.
-    if (pooled && !sharded_) alive_.assign(pending_before, 1);
     if (want_carried_) std::fill(carried_.begin(), carried_.end(), 0);
     const ChanT* chan = chan_buf.data();
     std::uint64_t cycle_losses = 0;
@@ -1320,7 +1346,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       // coordination. Clamped at zero against clock jitter.
       const double cyc = phase_delta(cyc_t0, PhaseClock::now());
       const double sweep =
-          (ph_up_ + ph_spine_ + ph_down_) - sweep_before;
+          (ph_up_ + ph_spine_ + ph_spine_par_ + ph_down_) - sweep_before;
       ph_coord += std::max(0.0, cyc - sweep);
     }
 
@@ -1340,6 +1366,7 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
   if (time_phases_) {
     result.phases.up_seconds = ph_up_;
     result.phases.spine_seconds = ph_spine_;
+    result.phases.spine_parallel_seconds = ph_spine_par_;
     result.phases.down_seconds = ph_down_;
     result.phases.coord_seconds = ph_coord;
     result.phases.timed_cycles = result.cycles;
@@ -1402,8 +1429,10 @@ EngineResult CycleEngine::run_fifo(const PathSet& paths,
   // arrivals are buffered so a message moves at most one hop per round.
   // When tracing, each range logs its Hop/Deliver events; the serial
   // merge below replays them in range (= ascending channel) order, so the
-  // event stream is identical at any thread count.
-  struct RangeOut {
+  // event stream is identical at any thread count. Cache-line aligned:
+  // each range's scalars are rewritten by its worker every round, and
+  // adjacent elements of `outs` would otherwise share lines.
+  struct alignas(64) RangeOut {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> arrivals;
     std::vector<MessageEvent> events;
     std::vector<LatencySample> lat;

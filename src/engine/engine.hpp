@@ -62,6 +62,15 @@ struct EngineOptions {
   bool parallel = false;
   /// Worker threads for parallel mode (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Sharded executor only: resolve heavy spine stages on the thread pool
+  /// instead of serially on the coordinating thread (per-channel
+  /// arbitration is keyed by (seed, cycle, channel), so spine channels
+  /// are independent; a channel-ordered serial merge keeps accounting,
+  /// traces and telemetry bit-identical — see DESIGN.md, "Spine
+  /// parallelization"). On by default; exists as a switch so the Amdahl
+  /// cost of a serial spine stays measurable (exp_scaleout compares
+  /// both).
+  bool parallel_spine = true;
   /// Per-message retry policy (lossy/tally modes; FIFO rounds have no
   /// losses to retry, so it is ignored there). Off by default.
   RetryPolicy retry;
@@ -176,8 +185,11 @@ class CycleEngine {
   /// of one cycle run shard-parallel with no shared mutable state. The
   /// outbox collects survivors whose next channel leaves the shard (spine
   /// channels or another shard's down channels); the coordinating thread
-  /// distributes it between phases.
-  struct ShardState {
+  /// distributes it between phases. Cache-line aligned: neighbouring
+  /// shards' worklist headers and loss/hop counters are written by
+  /// different workers every cycle, and letting them share a line costs
+  /// real coherence traffic at high shard counts.
+  struct alignas(64) ShardState {
     std::vector<std::vector<std::uint64_t>> stage_list;
     std::vector<std::vector<std::uint32_t>> stage_touched;
     std::vector<std::uint32_t> arena;
@@ -305,13 +317,6 @@ class CycleEngine {
   /// First hop of each live message, cached at injection so the per-cycle
   /// reseed never chases the (cold) CSR buffer. Compacted with ce_.
   std::vector<std::uint32_t> first_chan_;
-  /// Per-message kill flags, parallel stages only: the parallel forward
-  /// pass walks its arena after the lottery and must skip losers without
-  /// re-deriving their stage. Serial stages never touch it — delivered
-  /// state is read off the packed ce_ word (cursor == end) everywhere
-  /// else.
-  std::vector<std::uint8_t> alive_;
-
   /// Worklists: list s holds the live messages whose next channel lies in
   /// stage s, packed as (msg << 32) | channel so bucket building never
   /// re-derives the channel through the message table and the CSR buffer.
@@ -363,6 +368,7 @@ class CycleEngine {
   bool time_phases_ = false;
   double ph_up_ = 0.0;
   double ph_spine_ = 0.0;
+  double ph_spine_par_ = 0.0;  ///< spine stages resolved on the pool
   double ph_down_ = 0.0;
 };
 

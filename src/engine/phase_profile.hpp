@@ -9,19 +9,24 @@ namespace ft {
 
 /// Wall-clock decomposition of a timed run (EngineOptions::time_phases)
 /// into its parallelizable and inherently serial parts. In the sharded
-/// executor `up`/`down` cover the shard-parallel sweeps and `spine` the
-/// serial spine band between them; in the non-sharded loop, stages
-/// resolved on the thread pool count as `up` and serial stages as
-/// `spine`; FIFO rounds count pooled range processing as `up`. `coord`
-/// is everything else in the cycle loop — injection, compaction, fault
-/// bookkeeping, observer callbacks — which is serial in every mode.
+/// executor `up`/`down` cover the shard-parallel sweeps, `spine` the
+/// serial part of the spine band between them and `spine_parallel` the
+/// spine stages resolved on the thread pool (EngineOptions::
+/// parallel_spine); in the non-sharded loop, stages resolved on the
+/// thread pool count as `up` and serial stages as `spine`; FIFO rounds
+/// count pooled range processing as `up`. `coord` is everything else in
+/// the cycle loop — injection, compaction, fault bookkeeping, observer
+/// callbacks — which is serial in every mode.
 struct EnginePhaseProfile {
   double up_seconds = 0.0;
   double spine_seconds = 0.0;
+  double spine_parallel_seconds = 0.0;
   double down_seconds = 0.0;
   double coord_seconds = 0.0;
   std::uint64_t timed_cycles = 0;  ///< cycles covered (0 = timing was off)
-  double parallel_seconds() const { return up_seconds + down_seconds; }
+  double parallel_seconds() const {
+    return up_seconds + spine_parallel_seconds + down_seconds;
+  }
   double serial_seconds() const { return spine_seconds + coord_seconds; }
   double total_seconds() const {
     return parallel_seconds() + serial_seconds();

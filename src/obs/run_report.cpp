@@ -118,6 +118,7 @@ JsonValue phase_profile_json(const EnginePhaseProfile& p) {
   JsonValue out = JsonValue::object();
   out["up_seconds"] = p.up_seconds;
   out["spine_seconds"] = p.spine_seconds;
+  out["spine_parallel_seconds"] = p.spine_parallel_seconds;
   out["down_seconds"] = p.down_seconds;
   out["coord_seconds"] = p.coord_seconds;
   out["timed_cycles"] = p.timed_cycles;

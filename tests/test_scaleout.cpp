@@ -23,6 +23,7 @@
 #include "nets/builders.hpp"
 #include "nets/routing.hpp"
 #include "nets/store_forward.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -442,6 +443,155 @@ TEST(Scaleout, StreamedShardedMatchesMaterializedSerial) {
   const EngineResult streamed = engine.run_stream(source);
 
   expect_same_result(serial, streamed, "streamed sharded");
+}
+
+// --- Parallel spine -------------------------------------------------------
+
+// The parallel-spine arbitration path is pinned bit-identical to the
+// serial engine at every shard depth, with the spine pooled and not.
+// threads is forced to 4 so the pool genuinely dispatches even on
+// single-core hosts (results are thread-count-invariant by construction;
+// this test exists to prove it).
+TEST(Scaleout, ParallelSpineMatchesSerialAtEveryShardLevel) {
+  const std::uint32_t n = 128;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 32);
+  Rng gen(31);
+  const struct {
+    const char* name;
+    MessageSet m;
+  } workloads[] = {
+      {"complement", complement_traffic(n)},  // all traffic through spine
+      {"stacked", stacked_permutations(n, 4, gen)},
+  };
+
+  for (const auto& w : workloads) {
+    const PathSet paths = fat_tree_path_set(topo, w.m);
+
+    EngineOptions serial_opts;
+    serial_opts.seed = 808;
+    CycleEngine serial_engine(fat_tree_channel_graph(topo, caps),
+                              serial_opts);
+    TraceSink serial_trace;
+    const EngineResult serial = serial_engine.run(paths, &serial_trace);
+    EXPECT_FALSE(serial.gave_up) << w.name;
+
+    for (const std::uint32_t shard_level : {1u, 2u, 3u}) {
+      for (const bool parallel_spine : {false, true}) {
+        EngineOptions opts;
+        opts.seed = 808;
+        opts.parallel = true;
+        opts.threads = 4;
+        opts.parallel_spine = parallel_spine;
+        CycleEngine engine(fat_tree_channel_graph(topo, caps, shard_level),
+                           opts);
+        TraceSink trace;
+        const EngineResult got = engine.run(paths, &trace);
+        expect_same_result(serial, got, w.name);
+        EXPECT_EQ(event_fingerprint(serial_trace), event_fingerprint(trace))
+            << w.name << " shard_level " << shard_level << " parallel_spine "
+            << parallel_spine;
+      }
+    }
+  }
+}
+
+// Same pinning through the observability plane: the telemetry probe rides
+// the serial coordination path, so its order-sensitive fingerprint must
+// be identical whether the spine is arbitrated serially or on the pool.
+TEST(Scaleout, ParallelSpineKeepsTelemetryFingerprint) {
+  const std::uint32_t n = 128;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 32);
+  Rng gen(37);
+  const auto m = stacked_permutations(n, 4, gen);
+  const PathSet paths = fat_tree_path_set(topo, m);
+
+  std::uint64_t fp_serial = 0;
+  {
+    EngineOptions opts;
+    opts.seed = 909;
+    TelemetryOptions topts;
+    topts.every_k = 2;
+    TelemetryProbe probe(topts);
+    CycleEngine engine(fat_tree_channel_graph(topo, caps), opts);
+    engine.run(paths, &probe);
+    fp_serial = probe.fingerprint();
+  }
+
+  for (const std::uint32_t shard_level : {1u, 2u, 3u}) {
+    for (const bool parallel_spine : {false, true}) {
+      EngineOptions opts;
+      opts.seed = 909;
+      opts.parallel = true;
+      opts.threads = 4;
+      opts.parallel_spine = parallel_spine;
+      TelemetryOptions topts;
+      topts.every_k = 2;
+      TelemetryProbe probe(topts);
+      CycleEngine engine(fat_tree_channel_graph(topo, caps, shard_level),
+                         opts);
+      engine.run(paths, &probe);
+      EXPECT_EQ(fp_serial, probe.fingerprint())
+          << "shard_level " << shard_level << " parallel_spine "
+          << parallel_spine;
+    }
+  }
+}
+
+// Fault plans, kill domains, retries and backoff all interleave with the
+// pooled spine; every counter and the traced stream stay pinned to the
+// serial run, with and without the spine parallelized.
+TEST(Scaleout, ParallelSpineMatchesSerialUnderFaultsAndRetries) {
+  const std::uint32_t n = 64;
+  FatTreeTopology topo(n);
+  const auto caps = CapacityProfile::universal(topo, 16);
+  Rng gen(41);
+  const auto m = stacked_permutations(n, 3, gen);
+  const PathSet paths = fat_tree_path_set(topo, m);
+
+  FaultPlan plan(505);
+  plan.set_domains(fat_tree_subtree_domains(topo, 2));
+  plan.add_subtree_kill({/*node=*/5, /*at_cycle=*/1, /*duration=*/3});
+  plan.set_storm({0.08, 1, 4});
+
+  RetryPolicy retries[2];
+  retries[1].max_attempts = 6;
+  retries[1].exponential_backoff = true;
+  retries[1].deadline_cycles = 64;
+
+  for (const RetryPolicy& retry : retries) {
+    const FaultPlan* fault_cases[] = {nullptr, &plan};
+    for (const FaultPlan* fp : fault_cases) {
+      EngineOptions serial_opts;
+      serial_opts.seed = 66;
+      serial_opts.fault_plan = fp;
+      serial_opts.retry = retry;
+      CycleEngine serial_engine(fat_tree_channel_graph(topo, caps),
+                                serial_opts);
+      TraceSink serial_trace;
+      const EngineResult serial = serial_engine.run(paths, &serial_trace);
+
+      for (const bool parallel_spine : {false, true}) {
+        EngineOptions opts = serial_opts;
+        opts.parallel = true;
+        opts.threads = 4;
+        opts.parallel_spine = parallel_spine;
+        CycleEngine engine(fat_tree_channel_graph(topo, caps, 2), opts);
+        TraceSink trace;
+        const EngineResult got = engine.run(paths, &trace);
+        expect_same_result(serial, got, "faulted parallel-spine run");
+        EXPECT_EQ(serial.fault_down_events, got.fault_down_events);
+        EXPECT_EQ(serial.fault_up_events, got.fault_up_events);
+        EXPECT_EQ(serial.subtree_kill_events, got.subtree_kill_events);
+        EXPECT_EQ(serial.degraded_channel_cycles, got.degraded_channel_cycles);
+        EXPECT_EQ(event_fingerprint(serial_trace), event_fingerprint(trace))
+            << "faults " << (fp != nullptr) << " backoff "
+            << retry.exponential_backoff << " parallel_spine "
+            << parallel_spine;
+      }
+    }
+  }
 }
 
 }  // namespace
