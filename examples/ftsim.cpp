@@ -18,6 +18,7 @@
 // engine; the online scheduler is traced live. Transient faults, retry
 // policies, and correlated subtree kills all compose with any of the
 // above (see the flag list in usage()).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +68,9 @@ void usage() {
       "  --retry K      give a message up after K contested cycles\n"
       "  --backoff      exponential retry backoff (skip-k-cycles)\n"
       "  --deadline C   give up messages whose retry would pass cycle C\n"
+      "  --policy X     online scheduler routing discipline: oblivious |\n"
+      "                 dmod | rlb | adaptive (default oblivious; see\n"
+      "                 DESIGN.md 'Routing disciplines')\n"
       "  --parallel[=T] online scheduler: resolve contention on a T-thread\n"
       "                 pool (T=0 or omitted = hardware concurrency);\n"
       "                 results are identical to serial runs\n"
@@ -114,6 +118,8 @@ struct Options {
   double storm_prob = 0.0;
   std::uint32_t storm_level = 1;
   ft::RetryPolicy retry;
+  ft::RoutingPolicy policy = ft::RoutingPolicy::ObliviousRandom;
+  std::string policy_name = "oblivious";
   bool parallel = false;
   std::size_t threads = 0;
   std::uint32_t shard_level = ft::kShardLevelAuto;
@@ -127,123 +133,202 @@ struct Options {
   std::string telemetry_out = "telemetry";
 };
 
+// Checked flag parsing. Every numeric flag value must consume its whole
+// token — "4x", "abc", "-3", an empty field or trailing garbage after a
+// compound flag all fail loudly (usage + exit 2) instead of silently
+// strtoul-ing to something else. All ftsim numeric flags are
+// non-negative, so a leading '-' is rejected outright.
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_u32(const char* s, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 0xffffffffull) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_size(const char* s, std::size_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v)) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* s, double& out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Splits a compound flag value into exactly `count` non-empty
+/// ':'-separated fields; fails on missing fields and on trailing garbage
+/// (a fifth field, a dangling ':').
+bool split_fields(const char* s, std::size_t count, std::string* out) {
+  if (s == nullptr) return false;
+  const std::string v = s;
+  std::size_t start = 0;
+  for (std::size_t k = 0; k + 1 < count; ++k) {
+    const std::size_t sep = v.find(':', start);
+    if (sep == std::string::npos) return false;
+    out[k] = v.substr(start, sep - start);
+    if (out[k].empty()) return false;
+    start = sep + 1;
+  }
+  out[count - 1] = v.substr(start);
+  return !out[count - 1].empty() &&
+         out[count - 1].find(':') == std::string::npos;
+}
+
+bool parse_policy(const char* s, ft::RoutingPolicy& out) {
+  if (s == nullptr) return false;
+  const std::string v = s;
+  if (v == "oblivious") {
+    out = ft::RoutingPolicy::ObliviousRandom;
+  } else if (v == "dmod") {
+    out = ft::RoutingPolicy::DeterministicDmod;
+  } else if (v == "rlb") {
+    out = ft::RoutingPolicy::RandomLoadBalanced;
+  } else if (v == "adaptive") {
+    out = ft::RoutingPolicy::AdaptiveOccupancy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool parse(int argc, char** argv, Options& opt) {
+  // On any failure: name the offending flag on stderr, then let main()
+  // print usage() and exit nonzero.
+  const char* flag = "";
+  auto bad = [&flag]() {
+    std::fprintf(stderr, "ftsim: invalid or missing value for %s\n", flag);
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--n") {
-      const char* v = next();
-      if (!v) return false;
-      opt.n = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32(next(), opt.n)) return bad();
     } else if (arg == "--w") {
-      const char* v = next();
-      if (!v) return false;
-      opt.w = std::strtoull(v, nullptr, 10);
+      if (!parse_u64(next(), opt.w)) return bad();
     } else if (arg == "--workload") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.workload = v;
     } else if (arg == "--scheduler") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.scheduler = v;
     } else if (arg == "--stack") {
-      const char* v = next();
-      if (!v) return false;
-      opt.stack = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32(next(), opt.stack)) return bad();
     } else if (arg == "--faults") {
-      const char* v = next();
-      if (!v) return false;
-      opt.faults = std::strtod(v, nullptr);
+      if (!parse_double(next(), opt.faults)) return bad();
     } else if (arg == "--flap") {
-      const char* v = next();
-      if (!v || std::sscanf(v, "%lf:%lf", &opt.flap_down, &opt.flap_up) != 2) {
-        return false;
+      std::string f[2];
+      if (!split_fields(next(), 2, f) ||
+          !parse_double(f[0].c_str(), opt.flap_down) ||
+          !parse_double(f[1].c_str(), opt.flap_up)) {
+        return bad();
       }
     } else if (arg == "--brownout") {
-      const char* v = next();
-      if (!v || std::sscanf(v, "%u:%u:%lf", &opt.brown_from, &opt.brown_until,
-                            &opt.brown_factor) != 3) {
-        return false;
+      std::string f[3];
+      if (!split_fields(next(), 3, f) ||
+          !parse_u32(f[0].c_str(), opt.brown_from) ||
+          !parse_u32(f[1].c_str(), opt.brown_until) ||
+          !parse_double(f[2].c_str(), opt.brown_factor)) {
+        return bad();
       }
       opt.has_brownout = true;
     } else if (arg == "--burst") {
-      const char* v = next();
-      if (!v || std::sscanf(v, "%u:%u:%u", &opt.burst_at, &opt.burst_dur,
-                            &opt.burst_count) != 3) {
-        return false;
+      std::string f[3];
+      if (!split_fields(next(), 3, f) ||
+          !parse_u32(f[0].c_str(), opt.burst_at) ||
+          !parse_u32(f[1].c_str(), opt.burst_dur) ||
+          !parse_u32(f[2].c_str(), opt.burst_count)) {
+        return bad();
       }
       opt.has_burst = true;
     } else if (arg == "--subtree-kill") {
-      const char* v = next();
-      if (!v || std::sscanf(v, "%u:%u:%u", &opt.sk_node, &opt.sk_at,
-                            &opt.sk_dur) != 3) {
-        return false;
+      std::string f[3];
+      if (!split_fields(next(), 3, f) ||
+          !parse_u32(f[0].c_str(), opt.sk_node) ||
+          !parse_u32(f[1].c_str(), opt.sk_at) ||
+          !parse_u32(f[2].c_str(), opt.sk_dur)) {
+        return bad();
       }
       opt.has_subtree_kill = true;
     } else if (arg == "--subtree-storm") {
-      const char* v = next();
-      if (!v || std::sscanf(v, "%lf:%u", &opt.storm_prob,
-                            &opt.storm_level) != 2) {
-        return false;
+      std::string f[2];
+      if (!split_fields(next(), 2, f) ||
+          !parse_double(f[0].c_str(), opt.storm_prob) ||
+          !parse_u32(f[1].c_str(), opt.storm_level)) {
+        return bad();
       }
     } else if (arg == "--retry") {
-      const char* v = next();
-      if (!v) return false;
-      opt.retry.max_attempts =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32(next(), opt.retry.max_attempts)) return bad();
     } else if (arg == "--backoff") {
       opt.retry.exponential_backoff = true;
     } else if (arg == "--deadline") {
+      if (!parse_u32(next(), opt.retry.deadline_cycles)) return bad();
+    } else if (arg == "--policy") {
       const char* v = next();
-      if (!v) return false;
-      opt.retry.deadline_cycles =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_policy(v, opt.policy)) return bad();
+      opt.policy_name = v;
     } else if (arg == "--parallel") {
       opt.parallel = true;
     } else if (arg.rfind("--parallel=", 0) == 0) {
       opt.parallel = true;
-      opt.threads = std::strtoul(arg.c_str() + 11, nullptr, 10);
+      if (!parse_size(arg.c_str() + 11, opt.threads)) return bad();
     } else if (arg.rfind("--shard-level=", 0) == 0) {
-      opt.shard_level = static_cast<std::uint32_t>(
-          std::strtoul(arg.c_str() + 14, nullptr, 10));
+      if (!parse_u32(arg.c_str() + 14, opt.shard_level)) return bad();
     } else if (arg == "--shard-level") {
-      const char* v = next();
-      if (!v) return false;
-      opt.shard_level =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32(next(), opt.shard_level)) return bad();
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      opt.seed = std::strtoull(v, nullptr, 10);
+      if (!parse_u64(next(), opt.seed)) return bad();
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--trace") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.trace_path = v;
     } else if (arg == "--jsonl") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.jsonl_path = v;
     } else if (arg == "--report") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.report_path = v;
     } else if (arg == "--telemetry") {
       opt.telemetry = true;
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       opt.telemetry = true;
-      opt.telemetry_every = static_cast<std::uint32_t>(
-          std::strtoul(arg.c_str() + 12, nullptr, 10));
-      if (opt.telemetry_every == 0) return false;
+      if (!parse_u32(arg.c_str() + 12, opt.telemetry_every) ||
+          opt.telemetry_every == 0) {
+        return bad();
+      }
     } else if (arg == "--telemetry-out") {
       const char* v = next();
-      if (!v) return false;
+      if (!v) return bad();
       opt.telemetry_out = v;
     } else {
+      std::fprintf(stderr, "ftsim: unknown flag %s\n", arg.c_str());
       return false;
     }
   }
@@ -298,6 +383,7 @@ RunResult run_one(const ft::FatTreeTopology& topo,
     ft::OnlineRouterOptions opts;
     opts.observer = observer;
     opts.fault_plan = plan;
+    opts.policy = opt.policy;
     opts.retry = opt.retry;
     opts.parallel = opt.parallel;
     opts.threads = opt.threads;
@@ -440,6 +526,7 @@ int main(int argc, char** argv) {
     params["w"] = opt.w;
     params["workload"] = opt.workload;
     params["scheduler"] = opt.scheduler;
+    params["policy"] = opt.policy_name;
     params["stack"] = opt.stack;
     params["faults"] = opt.faults;
     params["seed"] = opt.seed;

@@ -28,10 +28,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 # spine_serial_fraction regressions beyond this relative increase warn.
 FRACTION_WARN_REL = 0.10
+
+# Parallel thread-scaling rows carry the worker count in their name
+# ("engine_cycles/n=4096/parallel/t=8"). The sweep enumerates the host's
+# thread counts, so two machines legitimately produce different row sets;
+# a t= row present on only one side is a host difference, not a vanished
+# benchmark.
+THREAD_ROW_RE = re.compile(r"/t=\d+(?:/|$)")
 
 
 def _get(doc: object, *keys: str) -> object:
@@ -162,8 +170,17 @@ def compare(old_spec: str, new_spec: str, tolerance: float, strict: bool) -> int
         new = new_rows.get(name)
         if old is None or new is None:
             side = "old" if old is None else "new"
-            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>7}  "
-                  f"missing from {side}")
+            if THREAD_ROW_RE.search(name):
+                # One-sided thread-scaling rows are expected whenever the
+                # two reports come from hosts with different thread counts
+                # (the sweep stops at hardware_threads); skip them instead
+                # of flagging a phantom difference.
+                print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>7}  "
+                      f"skipped: thread-count row missing from {side} "
+                      f"(hosts sweep different t= ranges)")
+            else:
+                print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>7}  "
+                      f"missing from {side}")
             continue
         ratio = new / old
         verdict = classify(ratio, tolerance)
@@ -204,11 +221,14 @@ def self_test() -> int:
 
     old_doc = {
         "schema": "ft.bench_engine/2",
-        "host": {"hardware_threads": 4},
+        "host": {"hardware_threads": 8},
         "benchmarks": [
             row("engine_cycles/n=4096/serial", 1000.0),
             row("engine_cycles/n=4096/parallel/t=2", 1500.0, 0.40),
             row("engine_cycles/n=4096/parallel/t=4", 2000.0, 0.30),
+            # The 8-thread host's sweep goes one step further than the
+            # 4-thread host's below: a one-sided thread row, skipped.
+            row("engine_cycles/n=4096/parallel/t=8", 2600.0, 0.25),
         ],
         "baseline": {"benchmarks": [row("engine_cycles/n=4096/serial", 500.0)]},
     }
@@ -227,14 +247,15 @@ def self_test() -> int:
     assert fracs == {
         "engine_cycles/n=4096/parallel/t=2": 0.40,
         "engine_cycles/n=4096/parallel/t=4": 0.30,
+        "engine_cycles/n=4096/parallel/t=8": 0.25,
     }, fracs
-    assert ident["hardware_threads"] == 4, ident
+    assert ident["hardware_threads"] == 8, ident
 
     # The :baseline pseudo-section keeps the outer file's identity.
     brows, bfracs, bident = parse_doc(old_doc, "old:baseline", True)
     assert brows == {"engine_cycles/n=4096/serial": 500.0}, brows
     assert bfracs == {}, bfracs
-    assert bident["hardware_threads"] == 4, bident
+    assert bident["hardware_threads"] == 8, bident
 
     # Degenerate inputs parse to empty, never raise.
     assert parse_doc([], "list") == ({}, {}, {})
@@ -259,9 +280,18 @@ def self_test() -> int:
     assert fraction_warnings({"a": 0.0}, {"a": 0.01}) == [("a", 0.0, 0.01)]
     assert fraction_warnings({"a": 0.0}, {"a": 0.0}) == []
 
+    # Thread-scaling rows are recognized by the /t=N path segment only —
+    # a benchmark merely named something-t=... must not match.
+    assert THREAD_ROW_RE.search("engine_cycles/n=4096/parallel/t=8")
+    assert THREAD_ROW_RE.search("x/t=2/warm")
+    assert not THREAD_ROW_RE.search("engine_cycles/n=4096/serial")
+    assert not THREAD_ROW_RE.search("engine_cycles/fmt=8/serial")
+
     # End to end: the t=4 throughput collapse is SLOWER but non-strict
     # compare still exits 0; strict exits 1; fraction warnings never flip
-    # the exit code on their own.
+    # the exit code on their own; the one-sided t=8 row is skipped, never
+    # a regression candidate (strict on identical-throughput docs that
+    # differ only in the t=8 row stays 0).
     with tempfile.TemporaryDirectory() as tmp:
         old_path = os.path.join(tmp, "old.json")
         new_path = os.path.join(tmp, "new.json")
@@ -271,6 +301,23 @@ def self_test() -> int:
             json.dump(new_doc, f)
         assert compare(old_path, new_path, 0.10, strict=False) == 0
         assert compare(old_path, new_path, 0.10, strict=True) == 1
+        same_doc = dict(old_doc)
+        same_doc["benchmarks"] = [
+            e for e in old_doc["benchmarks"] if "/t=8" not in e["name"]
+        ]
+        same_path = os.path.join(tmp, "same.json")
+        with open(same_path, "w") as f:
+            json.dump(same_doc, f)
+        assert compare(old_path, same_path, 0.10, strict=True) == 0
+        # A one-sided *non*-thread row still reports "missing from".
+        gone_doc = dict(same_doc)
+        gone_doc["benchmarks"] = [
+            e for e in same_doc["benchmarks"] if e["name"] != "engine_cycles/n=4096/serial"
+        ]
+        gone_path = os.path.join(tmp, "gone.json")
+        with open(gone_path, "w") as f:
+            json.dump(gone_doc, f)
+        assert compare(old_path, gone_path, 0.10, strict=True) == 0
         # Identical files: clean under strict even with fractions present.
         assert compare(new_path, new_path, 0.10, strict=True) == 0
         # Baseline pseudo-path still loads through the file route.

@@ -91,6 +91,7 @@ OnlineRoutingResult route_online_stream(const FatTreeTopology& topo,
 
   EngineOptions eopts;
   eopts.contention = ContentionPolicy::RandomSubset;
+  eopts.policy = opts.policy;
   eopts.alpha = opts.alpha;
   eopts.max_cycles = max_cycles;
   eopts.seed = rng.next();

@@ -26,6 +26,7 @@
 #include "core/message.hpp"
 #include "core/topology.hpp"
 #include "core/traffic.hpp"
+#include "engine/engine.hpp"
 #include "engine/fault_plan.hpp"
 #include "engine/observer.hpp"
 #include "engine/phase_profile.hpp"
@@ -66,6 +67,11 @@ struct OnlineRouterOptions {
   /// it indicates a genuine livelock rather than bad luck. When the cap
   /// is hit, OnlineRoutingResult::gave_up is set.
   std::uint32_t max_cycles = 0;
+  /// Routing discipline for contended channels (the routing-policy seam;
+  /// see engine/engine.hpp). ObliviousRandom is the paper's randomized
+  /// lossy lottery and the default; every discipline preserves the
+  /// serial ≡ parallel determinism contract.
+  RoutingPolicy policy = RoutingPolicy::ObliviousRandom;
   /// Concentrator effectiveness: a channel of capacity c accepts
   /// floor(alpha * c) messages but at least 1 (alpha = 1 models the ideal
   /// concentrator; 3/4 models the partial concentrators of Section IV).

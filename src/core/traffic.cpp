@@ -166,6 +166,68 @@ MessageSet bisection_flood_traffic(std::uint32_t n, std::uint32_t count,
   return m;
 }
 
+MessageSet incast_traffic(std::uint32_t n, std::size_t count, Leaf sink,
+                          Rng& rng) {
+  FT_CHECK(n >= 2 && sink < n);
+  MessageSet m;
+  m.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto src = static_cast<Leaf>(rng.below(n - 1));
+    if (src >= sink) ++src;  // sources are non-sink leaves
+    m.push_back({src, sink});
+  }
+  return m;
+}
+
+MessageSet elephant_mice_traffic(std::uint32_t n, std::uint32_t elephants,
+                                 std::uint32_t elephant_size,
+                                 std::size_t mice, Rng& rng) {
+  FT_CHECK(n >= 2);
+  MessageSet m;
+  m.reserve(static_cast<std::size_t>(elephants) * elephant_size + mice);
+  for (std::uint32_t f = 0; f < elephants; ++f) {
+    const auto src = static_cast<Leaf>(rng.below(n));
+    auto dst = static_cast<Leaf>(rng.below(n - 1));
+    if (dst >= src) ++dst;  // elephants never send to themselves
+    for (std::uint32_t i = 0; i < elephant_size; ++i) m.push_back({src, dst});
+  }
+  for (std::size_t i = 0; i < mice; ++i) {
+    m.push_back({static_cast<Leaf>(rng.below(n)),
+                 static_cast<Leaf>(rng.below(n))});
+  }
+  return m;
+}
+
+MessageSet adversarial_residue_traffic(std::uint32_t n, std::uint32_t modulus,
+                                       Rng& rng) {
+  FT_CHECK(modulus >= 1 && modulus <= n);
+  const auto r = static_cast<Leaf>(rng.below(modulus));
+  MessageSet m;
+  m.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    m.push_back({p, static_cast<Leaf>(r + modulus * rng.below(n / modulus))});
+  }
+  return m;
+}
+
+MessageSet persistent_hotspot_traffic(std::uint32_t n, Leaf hot,
+                                      std::size_t hot_count,
+                                      std::size_t background, Rng& rng) {
+  FT_CHECK(n >= 2 && hot < n);
+  MessageSet m;
+  m.reserve(hot_count + background);
+  for (std::size_t i = 0; i < hot_count; ++i) {
+    auto src = static_cast<Leaf>(rng.below(n - 1));
+    if (src >= hot) ++src;
+    m.push_back({src, hot});
+  }
+  for (std::size_t i = 0; i < background; ++i) {
+    m.push_back({static_cast<Leaf>(rng.below(n)),
+                 static_cast<Leaf>(rng.below(n))});
+  }
+  return m;
+}
+
 std::vector<NamedWorkload> standard_workloads(std::uint32_t n, Rng& rng) {
   std::vector<NamedWorkload> out;
   out.push_back({"random-perm", random_permutation_traffic(n, rng)});

@@ -75,6 +75,42 @@ MessageSet all_to_all_traffic(std::uint32_t n);
 MessageSet bisection_flood_traffic(std::uint32_t n, std::uint32_t count,
                                    Rng& rng);
 
+// ---------------------------------------------------------------------------
+// Adversarial traffic (the routing-race zoo, bench/exp_routing_race).
+// Each generator below has a streamed twin further down that consumes an
+// identical draw sequence, so materialized and streamed runs agree
+// element for element (pinned in test_traffic).
+
+/// Incast: `count` messages aimed at one sink, each from a uniform random
+/// non-sink source. count > n keeps the sink's down channel saturated
+/// over many delivery cycles (the persistent form).
+MessageSet incast_traffic(std::uint32_t n, std::size_t count, Leaf sink,
+                          Rng& rng);
+
+/// Elephant/mice mix: `elephants` random (src, dst) flows of
+/// `elephant_size` messages each (draw order: one src, one dst per flow,
+/// dst != src), followed by `mice` independently uniform single messages.
+MessageSet elephant_mice_traffic(std::uint32_t n, std::uint32_t elephants,
+                                 std::uint32_t elephant_size,
+                                 std::size_t mice, Rng& rng);
+
+/// Residue-collapse adversary for deterministic D-mod-k-style policies:
+/// every processor sends to a uniform destination in one residue class
+/// {d : d mod modulus == r} (r drawn once). All destination keys agree
+/// modulo any wire count dividing `modulus`, so a static key-mod-limit
+/// wire assignment collapses onto one wire and idles the rest — the
+/// oblivious lottery is unaffected. Requires modulus in [1, n].
+MessageSet adversarial_residue_traffic(std::uint32_t n, std::uint32_t modulus,
+                                       Rng& rng);
+
+/// Persistent hotspot: `hot_count` incast messages at `hot` (uniform
+/// non-hot sources) mixed with `background` uniform random messages —
+/// the E18 gate workload. Draw order: all hot sources, then the
+/// background pairs.
+MessageSet persistent_hotspot_traffic(std::uint32_t n, Leaf hot,
+                                      std::size_t hot_count,
+                                      std::size_t background, Rng& rng);
+
 /// Named-workload dispatch used by the experiment binaries.
 struct NamedWorkload {
   std::string name;
@@ -204,6 +240,145 @@ class UniformRandomStream final : public MessageStream {
   std::uint64_t count_;
   Rng rng_;
   std::uint64_t i_ = 0;
+};
+
+/// Streamed twin of incast_traffic: same draw sequence, O(1) state. The
+/// Rng is taken by value (the stream owns its draw sequence), as for
+/// every stream below.
+class IncastStream final : public MessageStream {
+ public:
+  IncastStream(std::uint32_t n, std::uint64_t count, Leaf sink, Rng rng)
+      : n_(n), count_(count), sink_(sink), rng_(rng) {
+    FT_CHECK(n >= 2 && sink < n);
+  }
+
+  bool next(Message& out) override {
+    if (i_ >= count_) return false;
+    auto src = static_cast<Leaf>(rng_.below(n_ - 1));
+    if (src >= sink_) ++src;  // skip the sink: sources are non-sink leaves
+    out = {src, sink_};
+    ++i_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t count_;
+  Leaf sink_;
+  Rng rng_;
+  std::uint64_t i_ = 0;
+};
+
+/// Streamed twin of elephant_mice_traffic: flow endpoints are drawn
+/// lazily when each elephant flow starts, in the materialized draw order.
+class ElephantMiceStream final : public MessageStream {
+ public:
+  ElephantMiceStream(std::uint32_t n, std::uint32_t elephants,
+                     std::uint32_t elephant_size, std::uint64_t mice, Rng rng)
+      : n_(n),
+        elephants_(elephants),
+        elephant_size_(elephant_size),
+        mice_(mice),
+        rng_(rng) {
+    FT_CHECK(n >= 2);
+  }
+
+  bool next(Message& out) override {
+    if (flow_ < elephants_) {
+      if (in_flow_ == 0) {
+        src_ = static_cast<Leaf>(rng_.below(n_));
+        dst_ = static_cast<Leaf>(rng_.below(n_ - 1));
+        if (dst_ >= src_) ++dst_;  // elephants never send to themselves
+      }
+      out = {src_, dst_};
+      if (++in_flow_ >= elephant_size_) {
+        in_flow_ = 0;
+        ++flow_;
+      }
+      return true;
+    }
+    if (mouse_ >= mice_) return false;
+    out = {static_cast<Leaf>(rng_.below(n_)),
+           static_cast<Leaf>(rng_.below(n_))};
+    ++mouse_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t elephants_;
+  std::uint32_t elephant_size_;
+  std::uint64_t mice_;
+  Rng rng_;
+  std::uint32_t flow_ = 0;
+  std::uint32_t in_flow_ = 0;
+  Leaf src_ = 0;
+  Leaf dst_ = 0;
+  std::uint64_t mouse_ = 0;
+};
+
+/// Streamed twin of adversarial_residue_traffic: the residue is drawn at
+/// construction (the materialized generator's first draw), destinations
+/// per message after it.
+class AdversarialResidueStream final : public MessageStream {
+ public:
+  AdversarialResidueStream(std::uint32_t n, std::uint32_t modulus, Rng rng)
+      : n_(n), modulus_(modulus), rng_(rng) {
+    FT_CHECK(modulus >= 1 && modulus <= n);
+    r_ = static_cast<Leaf>(rng_.below(modulus_));
+  }
+
+  bool next(Message& out) override {
+    if (p_ >= n_) return false;
+    const auto dst =
+        static_cast<Leaf>(r_ + modulus_ * rng_.below(n_ / modulus_));
+    out = {p_, dst};
+    ++p_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t modulus_;
+  Rng rng_;
+  Leaf r_ = 0;
+  Leaf p_ = 0;
+};
+
+/// Streamed twin of persistent_hotspot_traffic: the incast phase first,
+/// then the uniform background phase, one draw sequence throughout.
+class PersistentHotspotStream final : public MessageStream {
+ public:
+  PersistentHotspotStream(std::uint32_t n, Leaf hot, std::uint64_t hot_count,
+                          std::uint64_t background, Rng rng)
+      : n_(n), hot_(hot), hot_count_(hot_count), background_(background),
+        rng_(rng) {
+    FT_CHECK(n >= 2 && hot < n);
+  }
+
+  bool next(Message& out) override {
+    if (i_ < hot_count_) {
+      auto src = static_cast<Leaf>(rng_.below(n_ - 1));
+      if (src >= hot_) ++src;
+      out = {src, hot_};
+      ++i_;
+      return true;
+    }
+    if (bg_ >= background_) return false;
+    out = {static_cast<Leaf>(rng_.below(n_)),
+           static_cast<Leaf>(rng_.below(n_))};
+    ++bg_;
+    return true;
+  }
+
+ private:
+  std::uint32_t n_;
+  Leaf hot_;
+  std::uint64_t hot_count_;
+  std::uint64_t background_;
+  Rng rng_;
+  std::uint64_t i_ = 0;
+  std::uint64_t bg_ = 0;
 };
 
 }  // namespace ft

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 
+#include "engine/channel_scan.hpp"
 #include "engine/chunked_ring.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
@@ -74,6 +75,80 @@ inline void sort_by_bitmap(std::uint64_t* bits, std::uint32_t* b,
       m &= m - 1;
     } while (m != 0);
   }
+}
+
+/// AdaptiveOccupancy tuning. A channel is "hot" once it has run over its
+/// admission limit for this many consecutive cycles — one contended cycle
+/// is normal lottery noise, a streak is persistent congestion (the
+/// persistence test of Rocher-Gonzalez et al., arXiv:2502.00597, in
+/// delivery-cycle units).
+constexpr std::uint32_t kAdaptiveHotStreak = 3;
+/// Widest desynchronization window: a hot channel's losers spread their
+/// retries over min(streak, kAdaptiveMaxDelay) upcoming cycles.
+constexpr std::uint32_t kAdaptiveMaxDelay = 8;
+
+/// True for the disciplines that assign individual wires (and can
+/// therefore admit fewer than `limit` winners); ObliviousRandom and
+/// AdaptiveOccupancy keep the paper's cap-subset lottery.
+inline bool wire_selecting(RoutingPolicy pol) {
+  return pol == RoutingPolicy::DeterministicDmod ||
+         pol == RoutingPolicy::RandomLoadBalanced;
+}
+
+/// Wire-claim scratch for the wire-selecting disciplines: a flag per wire
+/// plus the claimed-wire list that re-zeroes it. thread_local because
+/// sharded and spine-parallel arbitration run buckets on pool workers.
+struct WireClaims {
+  std::vector<std::uint8_t> taken;
+  std::vector<std::uint32_t> claimed;
+};
+
+/// Resolves one over-limit bucket under a wire-selecting discipline.
+/// `b[0..size)` must already be in ascending pending order (the same
+/// sorted view the oblivious lottery sees). Each contender bids for one
+/// of the channel's `limit` wires — DeterministicDmod by destination key
+/// (the path's final channel, stable wherever the cursor points and
+/// identical in every executor), RandomLoadBalanced by hashing the
+/// bucket's pinned (seed, cycle, channel) stream with the contender's
+/// pending index (the executor-invariant per-message identity) — and the
+/// lowest pending index wins each wire. Winners are swapped stably to
+/// b[0..w); returns w. Wires nobody bids for idle, which is exactly the
+/// static-path pathology the adversarial traffic generators target.
+/// Depends only on the sorted bucket, ce, limit and the pinned stream,
+/// so every executor computes the same winner set.
+template <typename ChanT>
+std::uint32_t select_policy_winners(RoutingPolicy pol, std::uint32_t* b,
+                                    std::size_t size, std::uint64_t limit,
+                                    std::uint64_t seed, std::uint32_t cycle,
+                                    std::uint32_t channel,
+                                    const std::uint64_t* ce,
+                                    const ChanT* chan) {
+  if (limit == 0) return 0;
+  thread_local WireClaims wc;
+  if (wc.taken.size() < limit) wc.taken.resize(limit, 0);
+  wc.claimed.clear();
+  const std::uint64_t arb = arbitration_seed(seed, cycle, channel);
+  std::uint32_t w = 0;
+  for (std::size_t t = 0; t < size; ++t) {
+    const std::uint32_t i = b[t];
+    std::uint64_t wire;
+    if (pol == RoutingPolicy::DeterministicDmod) {
+      const std::uint64_t end = ce[i] >> 32;
+      wire = static_cast<std::uint64_t>(chan[end - 1]) % limit;
+    } else {
+      SplitMix64 h(arb ^
+                   (static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull));
+      wire = h.next() % limit;
+    }
+    if (!wc.taken[wire]) {
+      wc.taken[wire] = 1;
+      wc.claimed.push_back(static_cast<std::uint32_t>(wire));
+      std::swap(b[w], b[t]);  // stable for winners: w <= t
+      ++w;
+    }
+  }
+  for (const std::uint32_t wire : wc.claimed) wc.taken[wire] = 0;
+  return w;
 }
 
 /// Worklist entry layout (see the stage_list_ comment): (msg, channel)
@@ -268,6 +343,14 @@ CycleEngine::CycleEngine(ChannelGraph graph, const EngineOptions& opts)
       }
     }
   }
+  if (opts_.policy == RoutingPolicy::AdaptiveOccupancy) {
+    // The congestion-feedback scan walks the telemetry probe's in-budget
+    // channel list (engine/channel_scan.hpp), built once per engine; the
+    // hot-streak pass only needs the channel indices.
+    for (const ChannelScanEntry& e : build_channel_scan(graph_)) {
+      adaptive_scan_.push_back(e.channel);
+    }
+  }
 }
 
 template <typename ChanT>
@@ -364,8 +447,9 @@ void CycleEngine::build_buckets(const std::vector<std::uint64_t>& list,
   }
 }
 
-void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
-                                   std::size_t bucket) {
+template <typename ChanT>
+void CycleEngine::arbitrate_bucket(const ChanT* chan, std::uint32_t cycle,
+                                   std::uint32_t c, std::size_t bucket) {
   std::uint32_t* b = arena_.data() + bucket_off_[bucket];
   const std::size_t size = bucket_off_[bucket + 1] - bucket_off_[bucket];
   const std::uint64_t limit = active_limit_[c];
@@ -375,6 +459,17 @@ void CycleEngine::arbitrate_bucket(std::uint32_t cycle, std::uint32_t c,
     // forwarding scrambles that, so restore the exact sequence first.
     // Under-limit buckets skip this: with no lottery, order is invisible.
     sort_small(b, size);
+    if (wire_selecting(opts_.policy)) {
+      // Wire-selecting disciplines: the winner count can fall short of
+      // the limit, so it is recorded for the serial merge (disjoint
+      // slots, one per bucket — workers never share).
+      const std::uint32_t w =
+          select_policy_winners(opts_.policy, b, size, limit, opts_.seed,
+                                cycle, c, ce_.data(), chan);
+      bucket_winners_[bucket] = w;
+      for (std::size_t k = 0; k < w; ++k) ++ce_[b[k]];
+      return;
+    }
     Rng arb(arbitration_seed(opts_.seed, cycle, c));
     // Truncated Fisher–Yates: the full backward shuffle finalizes the
     // loser block [limit, size) with its first size-limit draws — every
@@ -413,6 +508,9 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
   std::vector<std::uint32_t>& touched = stage_touched_[stage];
   const std::size_t num_buckets = touched.size();
   const std::size_t contenders = arena_.size();
+  const RoutingPolicy pol = opts_.policy;
+  const bool wire_sel = wire_selecting(pol);
+  if (wire_sel) bucket_winners_.resize(num_buckets);
 
   if (num_buckets >= 2) {
     // Channels of one stage are independent (no path visits two), so
@@ -439,12 +537,12 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
     const std::size_t num_chunks = chunk_bounds_.size() - 1;
     pool_->run_tasks(num_chunks, [&](std::size_t t) {
       for (std::size_t j = chunk_bounds_[t]; j < chunk_bounds_[t + 1]; ++j) {
-        arbitrate_bucket(cycle, touched[j], j);
+        arbitrate_bucket(chan, cycle, touched[j], j);
       }
     });
   } else {
     for (std::size_t j = 0; j < num_buckets; ++j) {
-      arbitrate_bucket(cycle, touched[j], j);
+      arbitrate_bucket(chan, cycle, touched[j], j);
     }
   }
 
@@ -467,12 +565,20 @@ void CycleEngine::run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
   auto* const touch = stage_touched_.data();
   const std::uint64_t* const ce = ce_.data();
   const std::uint32_t* const ar = arena_.data();
+  const bool adaptive = pol == RoutingPolicy::AdaptiveOccupancy;
   for (std::size_t j = 0; j < num_buckets; ++j) {
     const std::uint32_t c = touched[j];
     const std::uint32_t off = bucket_off_[j];
     const std::uint64_t size = bucket_off_[j + 1] - off;
-    const std::uint64_t winners =
-        std::min<std::uint64_t>(size, active_limit_[c]);
+    const std::uint64_t lim_c = active_limit_[c];
+    std::uint64_t winners = std::min<std::uint64_t>(size, lim_c);
+    if (size > lim_c) {
+      // Over-limit: the wire-selecting winner count was recorded by the
+      // worker; adaptive feedback marks the pressure here, on the serial
+      // merge, exactly where the serial executor would.
+      if (wire_sel) winners = bucket_winners_[j];
+      if (adaptive) over_pressure_[c] = 1;
+    }
     if (want_carried_) carried_[c] = static_cast<std::uint32_t>(winners);
     cycle_losses += size - winners;
     cycle_hops += winners;
@@ -557,6 +663,9 @@ void CycleEngine::fused_stage(const ChanT* chan, std::uint32_t cycle,
     }
   }
   std::uint64_t* const bits = sort_bits.data();
+  const RoutingPolicy pol = opts_.policy;
+  const bool wire_sel = wire_selecting(pol);
+  const bool adaptive = pol == RoutingPolicy::AdaptiveOccupancy;
   for (const OverBucket& ob : over) {
     std::uint32_t* b = ar + ob.off;
     const std::uint64_t limit = lim[ob.chan];
@@ -568,25 +677,34 @@ void CycleEngine::fused_stage(const ChanT* chan, std::uint32_t cycle,
     } else {
       sort_small(b, ob.count);
     }
-    Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
-    for (std::size_t i = ob.count; i > limit; --i) {
-      const std::size_t j = arb.below(i);
-      std::swap(b[i - 1], b[j]);
+    std::uint64_t winners = limit;
+    if (wire_sel) {
+      winners = select_policy_winners(pol, b, ob.count, limit, opts_.seed,
+                                      cycle, ob.chan, ce, chan);
+    } else {
+      // Adaptive pressure marks are per-channel; channels of one stage
+      // are disjoint across shards, so a worker's write never races.
+      if (adaptive) over_pressure_[ob.chan] = 1;
+      Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
+      for (std::size_t i = ob.count; i > limit; --i) {
+        const std::size_t j = arb.below(i);
+        std::swap(b[i - 1], b[j]);
+      }
     }
     // Losers need no write: their cursor stops here, short of end, and
     // everything downstream (compaction, tracing, the parallel merge)
     // reads the delivered state straight off the packed word
     // (cursor == end).
-    for (std::size_t k = 0; k < limit; ++k) {
+    for (std::size_t k = 0; k < winners; ++k) {
       const std::uint64_t v = ++ce[b[k]];
       if (static_cast<std::uint32_t>(v) < (v >> 32)) {
         forward(b[k], static_cast<std::uint32_t>(
                           chan[static_cast<std::uint32_t>(v)]));
       }
     }
-    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(limit);
-    cycle_hops += limit;
-    cycle_losses += ob.count - limit;
+    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(winners);
+    cycle_hops += winners;
+    cycle_losses += ob.count - winners;
   }
   for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
   touched.clear();
@@ -667,6 +785,9 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
     }
   }
   std::uint64_t* const bits = sort_bits_.data();
+  const RoutingPolicy pol = opts_.policy;
+  const bool wire_sel = wire_selecting(pol);
+  const bool adaptive = pol == RoutingPolicy::AdaptiveOccupancy;
   for (const OverBucket& ob : over_) {
     std::uint32_t* b = ar + ob.off;
     const std::uint64_t limit = lim[ob.chan];
@@ -678,16 +799,23 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
     } else {
       sort_small(b, ob.count);
     }
-    Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
-    for (std::size_t i = ob.count; i > limit; --i) {
-      const std::size_t j = arb.below(i);
-      std::swap(b[i - 1], b[j]);
+    std::uint64_t winners = limit;
+    if (wire_sel) {
+      winners = select_policy_winners(pol, b, ob.count, limit, opts_.seed,
+                                      cycle, ob.chan, ce, chan);
+    } else {
+      if (adaptive) over_pressure_[ob.chan] = 1;
+      Rng arb(arbitration_seed(opts_.seed, cycle, ob.chan));
+      for (std::size_t i = ob.count; i > limit; --i) {
+        const std::size_t j = arb.below(i);
+        std::swap(b[i - 1], b[j]);
+      }
     }
     // Losers need no write: their cursor stops here, short of end, and
     // everything downstream (compaction, tracing, the parallel merge)
     // reads the delivered state straight off the packed word
     // (cursor == end).
-    for (std::size_t k = 0; k < limit; ++k) {
+    for (std::size_t k = 0; k < winners; ++k) {
       const std::uint64_t v = ++ce[b[k]];
       if (static_cast<std::uint32_t>(v) < (v >> 32)) {
         const std::uint32_t nc = chan[static_cast<std::uint32_t>(v)];
@@ -696,9 +824,9 @@ void CycleEngine::run_stage_serial(const ChanT* chan, std::uint32_t cycle,
         lst[ns].push_back(pack_entry(b[k], nc));
       }
     }
-    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(limit);
-    cycle_hops += limit;
-    cycle_losses += ob.count - limit;
+    if (want_carried_) carried_[ob.chan] = static_cast<std::uint32_t>(winners);
+    cycle_hops += winners;
+    cycle_losses += ob.count - winners;
   }
   for (const std::uint32_t c : touched) bp[c] = 0;  // sticky zeros
   touched.clear();
@@ -985,7 +1113,18 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
   // Retry policy and fault plan are sampled once per run; with both off
   // every loop below is the classic hot path (active_limit_ == limit_).
   const RetryPolicy& retry = opts_.retry;
-  const bool retry_on = retry.enabled();
+  // AdaptiveOccupancy parks losers of persistently hot channels through
+  // the retry machinery, so it forces the retry-aware compaction path
+  // even under the default (never-dropping) RetryPolicy: adaptive only
+  // ever adds delay, never drops on its own.
+  const bool adaptive_on =
+      opts_.policy == RoutingPolicy::AdaptiveOccupancy &&
+      opts_.contention == ContentionPolicy::RandomSubset;
+  const bool retry_on = retry.enabled() || adaptive_on;
+  if (adaptive_on) {
+    over_pressure_.assign(num_channels, 0);
+    hot_streak_.assign(num_channels, 0);
+  }
   std::unique_ptr<FaultState> faults;
   if (opts_.fault_plan != nullptr && !opts_.fault_plan->empty()) {
     faults = std::make_unique<FaultState>(*opts_.fault_plan, graph_);
@@ -1172,6 +1311,23 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
       }
     }
 
+    // Adaptive occupancy feedback, serial coordination path: fold this
+    // cycle's over-pressure marks into the per-channel hot streaks before
+    // the compaction below decides parking. The scan list is the
+    // telemetry probe's in-budget channel set, so feedback acts on
+    // exactly the channels the observatory watches; every executor wrote
+    // the same pressure marks (a channel is over limit or it is not), so
+    // the streaks — and every parking decision downstream — are
+    // executor-invariant.
+    if (adaptive_on) {
+      std::uint32_t* const hs = hot_streak_.data();
+      std::uint32_t* const op = over_pressure_.data();
+      for (const std::uint32_t c : adaptive_scan_) {
+        hs[c] = op[c] != 0 ? hs[c] + 1 : 0;
+        op[c] = 0;
+      }
+    }
+
     // Survivors are delivered; the rest retry next cycle. A loser's
     // cursor stops at the channel whose lottery it lost, which is the
     // Loss event's channel.
@@ -1252,6 +1408,27 @@ EngineResult CycleEngine::run_lossy_t(std::vector<ChanT>& chan_buf,
                 delay = std::min<std::uint32_t>(retry.max_backoff,
                                                 (1u << shift) - 1);
               }
+              if (adaptive_on) {
+                // Congestion-persistence backoff: once the loss channel
+                // has been hot for kAdaptiveHotStreak cycles, its losers
+                // desynchronize — the pending index staggers retries
+                // across a window that widens with the streak, so the
+                // channel stays fed (about one waker per cycle) while
+                // upstream contention drops.
+                const std::uint32_t streak =
+                    hot_streak_[chan[static_cast<std::uint32_t>(v)]];
+                if (streak >= kAdaptiveHotStreak) {
+                  const std::uint32_t window =
+                      std::min(streak, kAdaptiveMaxDelay);
+                  delay = std::max(
+                      delay, 1 + static_cast<std::uint32_t>(i) % window);
+                }
+              }
+              // The deadline check runs after every delay extension
+              // (backoff and adaptive): a parked message's wake never
+              // exceeds the deadline, so a deadline can only expire on a
+              // message that contended — give-up accounting stays
+              // exactly-once (pinned in test_fault_plan).
               if (retry.deadline_cycles != 0 &&
                   static_cast<std::uint64_t>(cycle) + 1 + delay >
                       retry.deadline_cycles) {

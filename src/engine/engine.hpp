@@ -45,12 +45,48 @@ class BatchFeed;
 
 enum class ContentionPolicy : std::uint8_t { RandomSubset, Fifo, Tally };
 
+/// How a lossy (RandomSubset) channel assigns its wires when contended —
+/// the routing-discipline seam. Every policy resolves an over-limit
+/// bucket from the same sorted contender list and the same per-(seed,
+/// cycle, channel) stream, so serial, sharded-parallel and parallel-spine
+/// execution stay bit-identical for all of them. Uncontended channels
+/// admit everyone under every policy.
+enum class RoutingPolicy : std::uint8_t {
+  /// The paper's oblivious lottery (Section II): a uniformly random
+  /// cap-subset of the contenders survives. Byte-identical to the
+  /// pre-seam engine; all goldens pin this policy.
+  ObliviousRandom,
+  /// Deterministic D-mod-k-style wire assignment: a contender bids for
+  /// wire (destination-key mod limit) and the lowest pending index wins
+  /// each wire. Destination-collapsed traffic can idle most wires —
+  /// the static-path pathology the adversarial generators target.
+  DeterministicDmod,
+  /// Randomized load balancing (Wang et al., arXiv:1708.09135): each
+  /// contender hashes (arbitration stream, pending index) to a uniformly
+  /// random wire; wire collisions lose. Balls-into-bins rather than a
+  /// concentrator, so a few wires idle under heavy contention.
+  RandomLoadBalanced,
+  /// Oblivious winner selection plus congestion feedback (Rocher-Gonzalez
+  /// et al., arXiv:2502.00597): per-channel queue-occupancy pressure is
+  /// folded into a hot-streak counter on the serial coordination path
+  /// (reusing the telemetry probe's channel-scan list), and losers at a
+  /// persistently hot channel desynchronize their retries over a widening
+  /// window. Engages the retry machinery; see DESIGN.md, "Routing
+  /// disciplines".
+  AdaptiveOccupancy,
+};
+
 struct EngineOptions {
   ContentionPolicy contention = ContentionPolicy::RandomSubset;
   /// RandomSubset: a channel of capacity c accepts floor(alpha * c)
   /// messages per cycle, floor 1 (alpha = 1 is the ideal concentrator,
   /// 3/4 the partial concentrators of Section IV).
   double alpha = 1.0;
+  /// Wire-assignment discipline for contended RandomSubset channels.
+  /// ObliviousRandom reproduces the pre-seam engine bit for bit; the
+  /// other disciplines exist to be raced (bench/exp_routing_race).
+  /// Ignored by Fifo and Tally.
+  RoutingPolicy policy = RoutingPolicy::ObliviousRandom;
   /// Stop after this many cycles/rounds (0 = unbounded). A lossy run that
   /// still has pending messages when the cap is hit sets
   /// EngineResult::gave_up instead of looping forever.
@@ -204,8 +240,9 @@ class CycleEngine {
   const auto* stage_table() const;
   void build_buckets(const std::vector<std::uint64_t>& list,
                      std::uint32_t stage);
-  void arbitrate_bucket(std::uint32_t cycle, std::uint32_t channel,
-                        std::size_t bucket);
+  template <typename ChanT>
+  void arbitrate_bucket(const ChanT* chan, std::uint32_t cycle,
+                        std::uint32_t channel, std::size_t bucket);
   template <typename ChanT>
   void run_stage_parallel(const ChanT* chan, std::uint32_t cycle,
                           std::uint32_t stage, std::uint64_t& cycle_losses,
@@ -343,6 +380,26 @@ class CycleEngine {
   std::vector<std::uint32_t> arena_;
   std::vector<OverBucket> over_;           ///< serial: contended buckets only
   std::vector<std::size_t> chunk_bounds_;  ///< parallel work partition
+  /// Wire-selecting policies (Dmod, RandomLoadBalanced) can leave wires
+  /// idle, so a contended bucket's winner count is no longer min(size,
+  /// limit). Workers record it here (disjoint slots, one per bucket) and
+  /// run_stage_parallel's serial merge reads it back; unused — never
+  /// resized — under ObliviousRandom and AdaptiveOccupancy.
+  std::vector<std::uint32_t> bucket_winners_;
+  /// AdaptiveOccupancy state. over_pressure_[c] is set (by whichever
+  /// executor arbitrated channel c — channels of one stage are disjoint,
+  /// so writes never race) when c's bucket ran over limit this cycle;
+  /// the serial end-of-cycle scan folds it into hot_streak_[c]
+  /// (consecutive over-pressure cycles, reset on a calm one) and clears
+  /// it. The scan walks adaptive_scan_: the telemetry probe's in-budget
+  /// channel list (engine/channel_scan.hpp), built once per engine.
+  /// Parking decisions read hot_streak_ only, on the serial compaction
+  /// path — occupancy feedback never crosses a thread boundary, which is
+  /// what keeps the adaptive policy's parity argument identical to the
+  /// oblivious one's.
+  std::vector<std::uint32_t> over_pressure_;
+  std::vector<std::uint32_t> hot_streak_;
+  std::vector<std::uint32_t> adaptive_scan_;
   /// Bit-per-pending-message scratch for the serial over-loop's bitmap
   /// sort of large contended buckets (engine.cpp sort_by_bitmap). Kept
   /// all-zero between uses: extraction clears each word it reads.

@@ -325,11 +325,9 @@ void TelemetryProbe::on_cycle(const CycleSnapshot& s) {
     graph_levels_ = g.num_levels;
     level_carried_.assign(g.num_levels, TelemetryRing(opts_.ring_capacity));
     level_capacity_.assign(g.num_levels, 0);
-    scan_.clear();
-    for (std::size_t c = 0; c < g.num_channels(); ++c) {
-      if (g.capacity[c] == 0 || !g.in_wire_budget[c]) continue;
-      level_capacity_[g.level[c]] += g.capacity[c];
-      scan_.push_back({static_cast<std::uint32_t>(c), g.level[c]});
+    scan_ = build_channel_scan(g);
+    for (const ChannelScanEntry& e : scan_) {
+      level_capacity_[e.level] += g.capacity[e.channel];
     }
   }
 
@@ -342,7 +340,7 @@ void TelemetryProbe::on_cycle(const CycleSnapshot& s) {
   argmax_chan_.assign(levels, 0);
   argmax_val_.assign(levels, 0);
   const std::uint32_t* carried = s.carried->data();
-  for (const ScanEntry& e : scan_) {
+  for (const ChannelScanEntry& e : scan_) {
     const std::uint32_t v = carried[e.channel];
     level_sum_[e.level] += v;
     if (v > argmax_val_[e.level]) {

@@ -28,6 +28,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/channel_scan.hpp"
 #include "engine/observer.hpp"
 #include "obs/json.hpp"
 
@@ -251,11 +252,9 @@ class TelemetryProbe final : public EngineObserver {
   /// Compact (channel, level) list of in-budget channels, built once per
   /// graph: the per-sampled-cycle aggregation scan touches only live
   /// channels instead of the full (half-empty) channel index space.
-  struct ScanEntry {
-    std::uint32_t channel;
-    std::uint32_t level;
-  };
-  std::vector<ScanEntry> scan_;
+  /// Shared definition with the engine's adaptive-occupancy scan
+  /// (engine/channel_scan.hpp).
+  std::vector<ChannelScanEntry> scan_;
   SpaceSavingSketch sketch_;
   /// Per-level scratch for one sampled cycle's aggregation scan: the
   /// level occupancy sums and the argmax-carried channel per level that

@@ -295,6 +295,87 @@ TEST(EngineParity, TransientFaultsSerialEqualsParallel) {
   EXPECT_EQ(delivered, m.size());
 }
 
+// Every routing discipline in the zoo must preserve the engine's
+// serial ≡ parallel contract across all executors: unsharded parallel,
+// subtree-sharded with the parallel spine, and sharded with the serial
+// spine must all reproduce the serial run bit for bit — counters and the
+// full traced event stream. The wire-selecting policies (dmod, rlb) pick
+// winners by pending index and hashed wire claims, the adaptive policy
+// folds its occupancy feedback on the coordinating thread only; none of
+// it may depend on thread count.
+TEST(EngineParity, RoutingPoliciesSerialEqualsParallel) {
+  const std::uint32_t n = 128;
+  FatTreeTopology t(n);
+  // Unit capacities + a persistent hotspot: every arbitration path is
+  // exercised (long over-limit streaks for the adaptive feedback, real
+  // wire contention for dmod/rlb), nothing degenerates to uncontended.
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng gen(111);
+  auto m = persistent_hotspot_traffic(n, n / 3, 24, 0, gen);
+  const auto local = stacked_permutations(n, 2, gen);
+  m.insert(m.end(), local.begin(), local.end());
+
+  struct Executor {
+    const char* name;
+    bool parallel;
+    std::uint32_t shard_level;
+    bool parallel_spine;
+  };
+  const Executor executors[] = {
+      {"serial", false, kShardLevelAuto, true},
+      {"parallel-unsharded", true, 0, true},
+      {"parallel-sharded", true, kShardLevelAuto, true},
+      {"parallel-serial-spine", true, kShardLevelAuto, false},
+  };
+
+  for (const RoutingPolicy pol :
+       {RoutingPolicy::ObliviousRandom, RoutingPolicy::DeterministicDmod,
+        RoutingPolicy::RandomLoadBalanced,
+        RoutingPolicy::AdaptiveOccupancy}) {
+    std::vector<OnlineRoutingResult> results;
+    std::vector<std::vector<MessageEvent>> streams;
+    for (const Executor& ex : executors) {
+      TraceSink trace;
+      Rng rng(112);
+      OnlineRouterOptions opts;
+      opts.policy = pol;
+      opts.parallel = ex.parallel;
+      opts.shard_level = ex.shard_level;
+      opts.parallel_spine = ex.parallel_spine;
+      opts.observer = &trace;
+      results.push_back(route_online(t, caps, m, rng, opts));
+      streams.push_back(trace.message_events());
+    }
+    const auto& s = results[0];
+    EXPECT_FALSE(s.gave_up) << static_cast<int>(pol);
+    const auto delivered =
+        std::accumulate(s.delivered_per_cycle.begin(),
+                        s.delivered_per_cycle.end(), std::uint64_t{0});
+    EXPECT_EQ(delivered, m.size()) << static_cast<int>(pol);
+    if (pol == RoutingPolicy::AdaptiveOccupancy) {
+      // The feedback actually engaged: hot-channel losers were parked.
+      EXPECT_GT(s.total_backoffs, 0u);
+    }
+    for (std::size_t e = 1; e < results.size(); ++e) {
+      const auto& p = results[e];
+      EXPECT_EQ(s.delivery_cycles, p.delivery_cycles)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(s.delivered_per_cycle, p.delivered_per_cycle)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(s.total_attempts, p.total_attempts)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(s.total_losses, p.total_losses)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(s.total_backoffs, p.total_backoffs)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(s.messages_given_up, p.messages_given_up)
+          << executors[e].name << " policy " << static_cast<int>(pol);
+      EXPECT_EQ(streams[0], streams[e])
+          << executors[e].name << " policy " << static_cast<int>(pol);
+    }
+  }
+}
+
 // Golden determinism for correlated subtree kills: for two plan seeds the
 // full timeline — cycle count, kill/fault counters, and an FNV-1a
 // fingerprint of the traced event stream — is pinned, and serial and

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <numeric>
 
 #include "core/online_router.hpp"
@@ -247,6 +248,67 @@ TEST(FaultPlan, DeadlineBoundsTheRun) {
   EXPECT_LE(r.delivery_cycles, 5u);
   EXPECT_GT(r.messages_given_up, 0u);
   EXPECT_FALSE(r.gave_up);  // per-message give-up, not the engine cliff
+}
+
+TEST(FaultPlan, DeadlineInsideBackoffWindowGivesUpExactlyOnce) {
+  // Regression pin for the give-up accounting audit: when the deadline
+  // expires while a message is parked in an exponential-backoff window,
+  // the engine drops it at park time (the wake cycle would overshoot the
+  // deadline) — it must count exactly once in messages_given_up, emit
+  // exactly one GiveUp trace event, at a cycle never past the deadline,
+  // and fall silent afterwards. Double-counting (park-time drop plus a
+  // later deadline sweep) would break conservation.
+  const std::uint32_t n = 64;
+  FatTreeTopology t(n);
+  const auto caps = CapacityProfile::constant(t, 1);
+  Rng gen(43);
+  const auto m = stacked_permutations(n, 6, gen);
+
+  TraceSink trace;
+  Rng rng(44);
+  OnlineRouterOptions opts;
+  opts.retry.exponential_backoff = true;
+  opts.retry.max_backoff = 8;
+  // Small enough that second-loss windows (delay >= 1 at cycle >= 5)
+  // already straddle it: plenty of park-time expiries.
+  opts.retry.deadline_cycles = 6;
+  opts.observer = &trace;
+  const auto r = route_online(t, caps, m, rng, opts);
+
+  EXPECT_GT(r.messages_given_up, 0u);
+  EXPECT_GT(r.total_backoffs, 0u);
+  EXPECT_FALSE(r.gave_up);  // per-message policy, not the engine cliff
+  EXPECT_LE(r.delivery_cycles, 6u);
+
+  // Conservation: every routed message is delivered or gave up, no
+  // message does both or neither.
+  std::uint64_t routed = 0;
+  for (const auto& msg : m) routed += msg.src != msg.dst;
+  const std::uint64_t self = m.size() - routed;
+  EXPECT_EQ(total_delivered(r.delivered_per_cycle) - self +
+                r.messages_given_up,
+            routed);
+
+  // Per-message lifecycle: at most one GiveUp each, none after the
+  // deadline, and a given-up message emits nothing afterwards.
+  std::map<std::uint32_t, std::uint32_t> give_up_cycle;
+  std::uint64_t give_ups = 0;
+  for (const MessageEvent& e : trace.message_events()) {
+    if (e.message == kNoMessage) continue;
+    const auto it = give_up_cycle.find(e.message);
+    if (it != give_up_cycle.end()) {
+      ADD_FAILURE() << "message " << e.message << " emitted a "
+                    << static_cast<int>(e.kind) << " event at cycle "
+                    << e.cycle << " after giving up at cycle " << it->second;
+    }
+    if (e.kind == MessageEventKind::GiveUp) {
+      ++give_ups;
+      EXPECT_LE(e.cycle, 6u) << "GiveUp past the deadline";
+      give_up_cycle.emplace(e.message, e.cycle);
+    }
+  }
+  EXPECT_EQ(give_ups, r.messages_given_up);
+  EXPECT_EQ(give_up_cycle.size(), r.messages_given_up);
 }
 
 TEST(FaultPlan, StoreForwardRidesOutABurst) {

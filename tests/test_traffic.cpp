@@ -160,6 +160,119 @@ TEST(Traffic, BisectionFloodTargetsRightHalf) {
   }
 }
 
+// ---- The adversarial zoo (routing-race workloads, see E18) ----------
+
+// Drains a stream into a MessageSet.
+MessageSet drain(MessageStream& s) {
+  MessageSet out;
+  Message msg;
+  while (s.next(msg)) out.push_back(msg);
+  return out;
+}
+
+TEST(Traffic, IncastTargetsOneSinkFromOthers) {
+  const std::uint32_t n = 64;
+  const Leaf sink = 17;
+  Rng rng(41);
+  const auto m = incast_traffic(n, 300, sink, rng);
+  EXPECT_EQ(m.size(), 300u);
+  for (const auto& msg : m) {
+    EXPECT_EQ(msg.dst, sink);
+    EXPECT_NE(msg.src, sink);
+    EXPECT_LT(msg.src, n);
+  }
+  // Deterministic under a fixed seed.
+  Rng rng2(41);
+  EXPECT_EQ(incast_traffic(n, 300, sink, rng2), m);
+}
+
+TEST(Traffic, ElephantMiceCountsAndFlows) {
+  const std::uint32_t n = 64;
+  const std::uint32_t elephants = 5, size = 20;
+  const std::size_t mice = 123;
+  Rng rng(43);
+  const auto m = elephant_mice_traffic(n, elephants, size, mice, rng);
+  ASSERT_EQ(m.size(), std::size_t{elephants} * size + mice);
+  // The first elephants*size messages form `elephants` constant flows of
+  // `size` repeats each, never self-addressed.
+  for (std::uint32_t f = 0; f < elephants; ++f) {
+    const Message head = m[std::size_t{f} * size];
+    EXPECT_NE(head.src, head.dst);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      EXPECT_EQ(m[std::size_t{f} * size + i], head);
+    }
+  }
+  for (std::size_t i = std::size_t{elephants} * size; i < m.size(); ++i) {
+    EXPECT_LT(m[i].src, n);
+    EXPECT_LT(m[i].dst, n);
+  }
+}
+
+TEST(Traffic, AdversarialResidueSharesOneResidueClass) {
+  const std::uint32_t n = 64, modulus = 8;
+  Rng rng(47);
+  const auto m = adversarial_residue_traffic(n, modulus, rng);
+  ASSERT_EQ(m.size(), n);
+  const Leaf residue = m[0].dst % modulus;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    EXPECT_EQ(m[p].src, p);  // one message per source, in order
+    EXPECT_EQ(m[p].dst % modulus, residue);
+    EXPECT_LT(m[p].dst, n);
+  }
+  // modulus == 1 degenerates to uniform destinations, still in range.
+  Rng rng2(48);
+  const auto all = adversarial_residue_traffic(n, 1, rng2);
+  for (const auto& msg : all) EXPECT_LT(msg.dst, n);
+}
+
+TEST(Traffic, PersistentHotspotPhasesAndRanges) {
+  const std::uint32_t n = 64;
+  const Leaf hot = 21;
+  Rng rng(53);
+  const auto m = persistent_hotspot_traffic(n, hot, 40, 200, rng);
+  ASSERT_EQ(m.size(), 240u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(m[i].dst, hot);
+    EXPECT_NE(m[i].src, hot);
+  }
+  for (std::size_t i = 40; i < m.size(); ++i) {
+    EXPECT_LT(m[i].src, n);
+    EXPECT_LT(m[i].dst, n);
+  }
+}
+
+TEST(Traffic, StreamedTwinsMatchMaterializedGenerators) {
+  // Same seed, same draw sequence: the O(1)-state streams must reproduce
+  // their materialized twins message for message (the scale-out contract;
+  // route_online_stream on a stream is then bit-identical to route_online
+  // on the set).
+  const std::uint32_t n = 64;
+  {
+    Rng a(61), b(61);
+    const auto m = incast_traffic(n, 200, 9, a);
+    IncastStream s(n, 200, 9, b);
+    EXPECT_EQ(drain(s), m);
+  }
+  {
+    Rng a(62), b(62);
+    const auto m = elephant_mice_traffic(n, 4, 16, 100, a);
+    ElephantMiceStream s(n, 4, 16, 100, b);
+    EXPECT_EQ(drain(s), m);
+  }
+  {
+    Rng a(63), b(63);
+    const auto m = adversarial_residue_traffic(n, 8, a);
+    AdversarialResidueStream s(n, 8, b);
+    EXPECT_EQ(drain(s), m);
+  }
+  {
+    Rng a(64), b(64);
+    const auto m = persistent_hotspot_traffic(n, 5, 30, 150, a);
+    PersistentHotspotStream s(n, 5, 30, 150, b);
+    EXPECT_EQ(drain(s), m);
+  }
+}
+
 TEST(Traffic, StandardWorkloadsCover) {
   Rng rng(11);
   const auto workloads = standard_workloads(64, rng);
